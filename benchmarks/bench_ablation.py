@@ -1,0 +1,101 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+tree shape, α steering, and the Eq. (9) vs Eq. (10) pruning rule."""
+
+from repro.analysis import render_table
+from repro.experiments import alpha_sweep, pruning_rule_ablation, tree_shape_ablation
+
+from workload_helpers import random_execution
+
+
+def test_tree_shape_ablation(benchmark):
+    shapes = benchmark.pedantic(
+        lambda: tree_shape_ablation(p=8, sync_prob=1.0, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["shape", "d", "h", "n", "msgs", "max cmp/node", "total cmp", "detections"],
+            [
+                [s.name, s.d, s.h, s.n, s.messages,
+                 s.max_comparisons_per_node, s.total_comparisons, s.detections]
+                for s in shapes
+            ],
+        )
+    )
+    by_name = {s.name: s for s in shapes}
+    # The star degenerates to centralized behaviour: one node does
+    # (almost) all comparison work; deeper trees spread it (d² < n).
+    assert (
+        by_name["star"].max_comparisons_per_node
+        > by_name["shallow"].max_comparisons_per_node
+        > by_name["binary"].max_comparisons_per_node
+    )
+
+
+def test_alpha_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: alpha_sweep(d=2, h=4, p=12, seed=5), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["sync_prob", "realized alpha", "messages", "root detections"],
+            [
+                [r["sync_prob"], f"{r['realized_alpha']:.3f}",
+                 int(r["messages"]), int(r["root_detections"])]
+                for r in rows
+            ],
+        )
+    )
+    # More synchronization -> more aggregation -> more messages upward.
+    assert rows[0]["messages"] <= rows[-1]["messages"]
+    assert rows[0]["realized_alpha"] <= rows[-1]["realized_alpha"]
+
+
+def test_pruning_rule_ablation(benchmark, rng):
+    traces = [random_execution(4, 120, rng, toggle_weight=2).trace for _ in range(8)]
+
+    def run():
+        results = [pruning_rule_ablation(trace, sink=0) for trace in traces]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["trace", "detections", "pruned eq10", "pruned eq9", "same solutions"],
+            [
+                [i, r.detections_eq10, r.pruned_after_solution_eq10,
+                 r.pruned_after_solution_eq9, r.same_solutions]
+                for i, r in enumerate(results)
+            ],
+        )
+    )
+    assert all(r.same_solutions for r in results)
+    assert all(
+        r.pruned_after_solution_eq9 >= r.pruned_after_solution_eq10 for r in results
+    )
+
+
+def test_tree_construction_ablation(benchmark):
+    from repro.experiments import tree_construction_ablation
+
+    results = benchmark.pedantic(
+        lambda: tree_construction_ablation(n=40, max_degree=3, p=8, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["construction", "degree", "height", "msgs", "max cmp/node", "detections"],
+            [[t.name, t.degree, t.height, t.messages,
+              t.max_comparisons_per_node, t.detections] for t in results],
+        )
+    )
+    bfs, bounded = results
+    assert bounded.degree < bfs.degree
+    assert bounded.max_comparisons_per_node < bfs.max_comparisons_per_node
+    assert bounded.detections == bfs.detections

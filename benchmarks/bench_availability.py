@@ -1,0 +1,20 @@
+"""Bench + regeneration of the availability-under-crashes experiment
+(the quantified version of Section III-F's fault-tolerance claim)."""
+
+from repro.experiments import availability_sweep, format_availability
+
+
+def test_availability_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: availability_sweep(
+            d=2, h=4, epochs=16, failure_counts=(0, 1, 2, 3), seed=21
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_availability(points))
+    baseline = points[0]
+    for pt in points[1:]:
+        assert pt.post_failure_detections > 0
+        assert pt.detections >= baseline.detections - 3 * pt.failures

@@ -1,0 +1,33 @@
+"""Ablation bench: timestamp compression on real report streams.
+
+Quantifies the O(n)-per-message wire cost (Section IV) under an
+adaptive raw/sparse/differential encoder, on both workload regimes."""
+
+from repro.analysis import render_table
+from repro.experiments import compression_ablation
+
+
+def test_compression_ablation(benchmark):
+    def run():
+        return [
+            ("epoch sync=1.0", compression_ablation(d=2, h=4, p=12, sync_prob=1.0, seed=19)),
+            ("epoch sync=0.6", compression_ablation(d=2, h=4, p=12, sync_prob=0.6, seed=19)),
+            ("local n=15", compression_ablation(d=2, h=4, p=12, seed=19, workload="local")),
+            ("local n=40", compression_ablation(d=3, h=4, p=12, seed=19, workload="local")),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["workload", "n", "reports", "raw entries", "adaptive entries", "savings"],
+            [
+                [name, r.n, r.reports, r.raw_entries, r.adaptive_entries,
+                 f"{r.savings:.1%}"]
+                for name, r in rows
+            ],
+        )
+    )
+    by_name = dict(rows)
+    assert by_name["local n=15"].savings > by_name["epoch sync=1.0"].savings
+    assert by_name["local n=40"].savings > by_name["local n=15"].savings

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the hot paths (profiling targets per the
+optimization-workflow guide: measure before optimizing).
+
+* vector-timestamp comparison — executed O(d²pn²) times system-wide;
+* aggregation ``⊓`` — once per solution;
+* detection-core offer throughput — the per-message cost at a node;
+* the vectorized all-pairs matrix used by the offline checker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocks import freeze, vc_less
+from repro.detect import CentralizedSinkCore, RepeatedDetectionCore
+from repro.intervals import Interval, aggregate, pairwise_matrix
+from repro.workload.scenarios import figure3_execution
+
+from workload_helpers import random_execution
+
+
+@pytest.mark.parametrize("n", [8, 64, 1024])
+def test_vc_less(benchmark, n):
+    u = freeze(np.arange(n))
+    v = freeze(np.arange(n) + 1)
+    assert benchmark(vc_less, u, v)
+
+
+@pytest.mark.parametrize("k,n", [(4, 16), (16, 256)])
+def test_aggregate(benchmark, k, n, rng):
+    los = rng.integers(0, 10, size=(k, n))
+    ceiling = los.max(axis=0)
+    intervals = [
+        Interval(owner=i, seq=0, lo=lo, hi=ceiling + rng.integers(1, 5, size=n))
+        for i, lo in enumerate(los)
+    ]
+    agg = benchmark(aggregate, intervals, 0, 0)
+    assert agg.members == frozenset(range(k))
+
+
+def test_core_offer_throughput(benchmark, rng):
+    """Feed a 4-process random execution's intervals through a sink."""
+    ex = random_execution(4, 400, rng, toggle_weight=3)
+    stream = ex.trace.intervals_in_completion_order()
+    assert len(stream) > 50
+
+    def run():
+        core = CentralizedSinkCore(sink_id=0, process_ids=range(4))
+        for interval in stream:
+            core.offer(interval.owner, interval)
+        return core
+
+    core = benchmark(run)
+    assert core.stats.offers == len(stream)
+
+
+def test_leaf_core_fast_path(benchmark):
+    """Single-queue (leaf) offers: solution + prune every time."""
+    intervals = [
+        Interval(owner=0, seq=s, lo=np.array([3 * s + 1]), hi=np.array([3 * s + 2]))
+        for s in range(200)
+    ]
+
+    def run():
+        core = RepeatedDetectionCore([0])
+        for interval in intervals:
+            core.offer(0, interval)
+        return core.stats.detections
+
+    assert benchmark(run) == 200
+
+
+@pytest.mark.parametrize("k", [8, 64])
+def test_pairwise_matrix(benchmark, k, rng):
+    base = figure3_execution().intervals()
+    intervals = []
+    for i in range(k):
+        lo = rng.integers(0, 6, size=16)
+        intervals.append(
+            Interval(owner=i, seq=0, lo=lo, hi=lo + rng.integers(0, 6, size=16))
+        )
+    matrix = benchmark(pairwise_matrix, intervals)
+    assert matrix.shape == (k, k)

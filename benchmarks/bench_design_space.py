@@ -1,0 +1,20 @@
+"""Bench + regeneration of the algorithm design-space comparison
+(the measured version of the paper's Section I positioning)."""
+
+from repro.experiments import design_space_comparison, format_design_space
+
+
+def test_design_space(benchmark):
+    profiles = benchmark.pedantic(
+        lambda: design_space_comparison(d=2, h=4, p=10, seed=17),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_design_space(profiles))
+    by_name = {p.name: p for p in profiles}
+    hier = by_name["hierarchical (this paper)"]
+    cent = by_name["centralized repeated [12]"]
+    assert hier.detections == cent.detections
+    assert hier.control_messages < cent.control_messages
+    assert hier.cmp_max_node < cent.cmp_max_node

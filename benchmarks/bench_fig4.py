@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Figure 4 (message complexity, d = 2).
+
+Prints the analytic curves with the paper's exact parameters
+(``d=2, p=20``, α ∈ {0.1, 0.45}, heights 2…10) and a measured sweep
+from full simulations at the smaller heights, annotated with the
+realized α.  Shape assertions encode the paper's conclusions.
+"""
+
+from repro.analysis import centralized_messages, hierarchical_messages
+from repro.experiments import (
+    empirical_message_sweep,
+    format_figure,
+    message_complexity_figure,
+)
+
+
+def test_fig4_analytic_series(benchmark):
+    fig = benchmark(message_complexity_figure, 2, p=20)
+    print()
+    print(format_figure(fig))
+    hier = fig.series["hierarchical a=0.45"]
+    cent = fig.series["centralized [12] (corrected Eq.14)"]
+    # The paper's conclusion: hierarchical wins, increasingly with h.
+    gaps = [c / max(x, 1e-9) for x, c in zip(hier, cent)]
+    assert all(g2 >= g1 for g1, g2 in zip(gaps[1:], gaps[2:]))
+
+
+def test_fig4_empirical_sweep(benchmark):
+    fig = benchmark.pedantic(
+        lambda: empirical_message_sweep(2, heights=(2, 3, 4, 5), p=20, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(fig))
+    hier = fig.series["hierarchical (measured)"]
+    cent = fig.series["centralized (measured)"]
+    for i, h in enumerate(fig.heights):
+        # Centralized measurements land exactly on Eq. (12).
+        assert cent[i] == centralized_messages(20, 2, h)
+        # Hierarchical stays at or below the alpha=1 analytic ceiling.
+        assert hier[i] <= hierarchical_messages(20, 2, h, 1.0)
+        if h > 2:
+            assert hier[i] < cent[i]

@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of Figure 5 (message complexity, d = 4).
+
+Same as Figure 4 with degree 4 (heights 2…6 analytically, 2…4
+empirically — a (4,4) tree is already 85 nodes)."""
+
+from repro.analysis import centralized_messages, hierarchical_messages
+from repro.experiments import (
+    empirical_message_sweep,
+    format_figure,
+    message_complexity_figure,
+)
+
+
+def test_fig5_analytic_series(benchmark):
+    fig = benchmark(message_complexity_figure, 4, p=20)
+    print()
+    print(format_figure(fig))
+    for alpha_key in ("hierarchical a=0.1", "hierarchical a=0.45"):
+        series = fig.series[alpha_key]
+        cent = fig.series["centralized [12] (corrected Eq.14)"]
+        for x, c, h in zip(series, cent, fig.heights):
+            if h >= 3:
+                assert x < c
+    # Smaller alpha means fewer messages at every height.
+    low, high = fig.series["hierarchical a=0.1"], fig.series["hierarchical a=0.45"]
+    assert all(a <= b for a, b in zip(low, high))
+
+
+def test_fig5_empirical_sweep(benchmark):
+    fig = benchmark.pedantic(
+        lambda: empirical_message_sweep(4, heights=(2, 3, 4), p=20, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(fig))
+    for i, h in enumerate(fig.heights):
+        assert fig.series["centralized (measured)"][i] == centralized_messages(20, 4, h)
+        if h > 2:
+            assert (
+                fig.series["hierarchical (measured)"][i]
+                < fig.series["centralized (measured)"][i]
+            )

@@ -1,0 +1,16 @@
+"""Bench + regeneration of the detection-latency experiment."""
+
+from repro.experiments import format_latency, latency_sweep
+
+
+def test_latency_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: latency_sweep(d=2, heights=(3, 4, 5), p=10, seed=29),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_latency(points))
+    # Latency grows with pipeline depth for both algorithms.
+    assert points[0].hier_mean < points[-1].hier_mean
+    assert points[0].cent_mean < points[-1].cent_mean

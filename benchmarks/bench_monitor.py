@@ -1,0 +1,29 @@
+"""End-to-end bench of the high-level monitoring façade."""
+
+from repro.monitor import ConjunctivePredicate, DistributedMonitor
+from repro.topology import small_world_topology
+
+
+def build_and_run(n=16, episodes=3, seed=5):
+    # Small-world graph: short gossip paths so causality threads every
+    # hot window comfortably.
+    graph = small_world_topology(n, k=6, rewire=0.2, seed=seed)
+    monitor = DistributedMonitor(
+        graph,
+        ConjunctivePredicate.threshold(range(n), "temp", gt=30.0),
+        seed=seed,
+    )
+    for episode in range(episodes):
+        base = 5.0 + 80.0 * episode
+        for pid in range(n):
+            monitor.at(base + 0.1 * pid, monitor.setter(pid, "temp", 40.0))
+            monitor.at(base + 45.0 + 0.1 * pid, monitor.setter(pid, "temp", 0.0))
+    monitor.enable_gossip(rate=2.0, until=80.0 * episodes)
+    monitor.run(until=80.0 * episodes + 120.0)
+    return monitor
+
+
+def test_monitor_facade_end_to_end(benchmark):
+    monitor = benchmark.pedantic(build_and_run, rounds=2, iterations=1)
+    assert len(monitor.alarms) == 3
+    assert all(alarm.members == frozenset(range(16)) for alarm in monitor.alarms)

@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the offline oracles (the test-suite's own cost
+drivers — worth knowing when scaling the differential tests)."""
+
+import pytest
+
+from repro.detect import holds_definitely, lattice_definitely, replay_centralized
+from repro.detect.offline import replay_hierarchical
+from repro.topology import SpanningTree
+
+from workload_helpers import random_execution
+
+
+@pytest.fixture(scope="module")
+def trace(rng=None):
+    import numpy as np
+
+    return random_execution(4, 120, np.random.default_rng(7), toggle_weight=2).trace
+
+
+def test_brute_force_oracle(benchmark, trace):
+    benchmark(holds_definitely, trace.all_intervals())
+
+
+def test_lattice_oracle(benchmark):
+    import numpy as np
+
+    small = random_execution(3, 18, np.random.default_rng(3)).trace
+    benchmark(lattice_definitely, small)
+
+
+def test_replay_centralized(benchmark, trace):
+    result = benchmark(replay_centralized, trace, 0)
+    assert isinstance(result, list)
+
+
+def test_replay_hierarchical(benchmark, trace):
+    # A 4-node tree matching the trace's process count.
+    tree = SpanningTree(0, {0: None, 1: 0, 2: 0, 3: 1})
+    emissions = benchmark(replay_hierarchical, trace, tree)
+    assert set(emissions) == {0, 1, 2, 3}

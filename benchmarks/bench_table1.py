@@ -1,0 +1,68 @@
+"""Benchmark + regeneration of Table I (complexity comparison).
+
+Times one full epoch-workload simulation per algorithm on a (2, 4)
+tree, and prints the Table I rows — symbolic and empirical — exactly as
+``repro-experiments table1`` does.
+"""
+
+import pytest
+
+from repro.experiments import format_table1, run_centralized, run_hierarchical, run_table1
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+CONFIG = EpochConfig(epochs=10, sync_prob=0.7)
+
+
+def test_table1_rows(benchmark):
+    """Regenerate the full Table I (4 configurations, both algorithms)."""
+    rows = benchmark.pedantic(
+        lambda: run_table1(configs=((2, 3), (2, 4), (3, 3), (4, 3)), p=10, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        assert row.hier_detections == row.cent_detections
+        assert row.hier_messages < row.cent_messages
+        assert row.hier_comparisons_max_node < row.cent_comparisons_max_node
+
+
+@pytest.mark.parametrize("d,h", [(2, 3), (2, 4), (3, 3)])
+def test_hierarchical_run(benchmark, d, h):
+    """Wall-clock of one hierarchical simulation (Table I workload)."""
+    result = benchmark.pedantic(
+        lambda: run_hierarchical(SpanningTree.regular(d, h), seed=7, config=CONFIG),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.metrics.root_detections > 0
+
+
+@pytest.mark.parametrize("d,h", [(2, 3), (2, 4), (3, 3)])
+def test_centralized_run(benchmark, d, h):
+    """Wall-clock of one centralized-baseline simulation (same workload)."""
+    result = benchmark.pedantic(
+        lambda: run_centralized(SpanningTree.regular(d, h), seed=7, config=CONFIG),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.metrics.root_detections > 0
+
+
+def test_zero_assumptions_deployment(benchmark):
+    """Wall-clock of the full in-band configuration: distributed tree
+    build + self-healing detection on a 20-node WSN graph."""
+    from repro.experiments import run_zero_assumptions
+    from repro.topology import random_geometric_topology
+
+    graph = random_geometric_topology(20, seed=4)
+    result = benchmark.pedantic(
+        lambda: run_zero_assumptions(
+            graph, seed=4, config=EpochConfig(epochs=6, sync_prob=1.0)
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.metrics.root_detections == 6

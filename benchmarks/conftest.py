@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` lets each bench print the table/figure rows it regenerates
+(the same rows the paper reports) alongside pytest-benchmark's timing
+output.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,35 @@
+"""Workload helpers shared by the benches (kept local to benchmarks/
+so the bench suite runs standalone, without importing the test tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.scenarios import ScriptedExecution
+
+
+def random_execution(
+    n: int, steps: int, rng: np.random.Generator, *, toggle_weight: int = 1
+) -> ScriptedExecution:
+    """A random causally valid execution (see tests/conftest.py)."""
+    ex = ScriptedExecution(n)
+    in_flight: list[str] = []
+    tag = 0
+    for _ in range(steps):
+        op = int(rng.integers(0, 3 + toggle_weight))
+        p = int(rng.integers(0, n))
+        if op == 0:
+            ex.internal(p)
+        elif op == 1:
+            t = f"t{tag}"
+            tag += 1
+            ex.send(p, t)
+            in_flight.append(t)
+        elif op == 2 and in_flight:
+            ex.recv(p, in_flight.pop(int(rng.integers(0, len(in_flight)))))
+        else:
+            ex.set_pred(p, not ex.predicate[p])
+    for p in range(n):
+        if ex.predicate[p]:
+            ex.set_pred(p, False)
+    return ex

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Fault tolerance: detection survives crashes; the baseline does not.
+
+Three acts on a 15-node binary tree whose radio graph has spare links:
+
+1. healthy operation — the root announces every global occurrence;
+2. an interior node crashes — heartbeats detect it, the orphaned
+   subtrees reattach over spare links, and detection continues for the
+   *partial* predicate over the 14 survivors;
+3. the root itself crashes — a new root is promoted and keeps going.
+
+For contrast, the same workload runs under the centralized
+repeated-detection baseline [12] with its sink crashed at the same
+moment: monitoring stops dead.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import EpochConfig, SpanningTree, run_hierarchical
+from repro.topology import tree_with_chords
+
+
+def describe(result, *, crashed_at=None):
+    for record in result.detections:
+        scope = (
+            "GLOBAL " if len(record.members) == result.tree.n + len(result.crashed)
+            else f"partial({len(record.members)}) "
+        )
+        marker = ""
+        if crashed_at is not None and record.time > crashed_at:
+            marker = "   <- after the crash"
+        print(
+            f"  t={record.time:8.2f}  by P{record.detector:<3} "
+            f"{scope}members={sorted(record.members)}{marker}"
+        )
+
+
+def main() -> None:
+    config = EpochConfig(epochs=10, sync_prob=1.0, drain_time=80.0)
+
+    print("=" * 72)
+    print("Act 1 — healthy run (15 nodes, binary tree of height 4)")
+    print("=" * 72)
+    tree = SpanningTree.regular(2, 4)
+    healthy = run_hierarchical(tree, seed=5, config=config)
+    print(f"{len(healthy.detections)} detections, all global:")
+    describe(healthy)
+
+    print()
+    print("=" * 72)
+    print("Act 2 — interior node P1 crashes at t=90 (spare links exist)")
+    print("=" * 72)
+    tree = SpanningTree.regular(2, 4)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=14, seed=3)
+    crashed = run_hierarchical(
+        tree, graph=graph, seed=5, config=config, failures=[(90.0, 1)]
+    )
+    print(f"{len(crashed.detections)} detections (note the partial ones):")
+    describe(crashed, crashed_at=90.0)
+    survivors = [d for d in crashed.detections if d.time > 120.0]
+    print(f"\n  -> {len(survivors)} detections AFTER the crash, covering the "
+          f"14 survivors. The paper's Section III-F in action.")
+
+    print()
+    print("=" * 72)
+    print("Act 3 — the ROOT crashes at t=90; a new root takes over")
+    print("=" * 72)
+    tree = SpanningTree.regular(2, 4)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=14, seed=3)
+    rootless = run_hierarchical(
+        tree, graph=graph, seed=5, config=config, failures=[(90.0, 0)]
+    )
+    describe(rootless, crashed_at=90.0)
+    late = [d for d in rootless.detections if d.time > 120.0]
+    detectors = {d.detector for d in late}
+    print(f"\n  -> late detections announced by promoted root(s) {sorted(detectors)}")
+    print("\n  The run's own structured log tells the repair story:")
+    print(
+        rootless.sim.log.render(
+            kinds=["crash", "suspect", "repair_planned", "root_promoted",
+                   "reattached", "partitioned", "rejoin"],
+        )
+    )
+
+    print()
+    print("=" * 72)
+    print("Contrast — centralized baseline [12], sink crashed at t=90")
+    print("=" * 72)
+    from repro.detect.roles import CentralizedReporterRole, CentralizedSinkRole
+    from repro.fault.injector import FailureInjector
+    from repro.sim import ExecutionTrace, Network, Simulator, uniform_delay
+    from repro.workload.generator import EpochProcess, EpochWorkload
+
+    tree = SpanningTree.regular(2, 4)
+    sim = Simulator(seed=5)
+    net = Network(sim, tree.as_graph(), uniform_delay(0.5, 1.5))
+    trace = ExecutionTrace(tree.n)
+    sink_role = CentralizedSinkRole(tree.nodes)
+    roles = {0: sink_role}
+    for pid in tree.nodes:
+        if pid != 0:
+            roles[pid] = CentralizedReporterRole(tree.path_to_root(pid))
+    processes = {
+        pid: EpochProcess(pid, sim, net, trace, roles[pid], tree)
+        for pid in tree.nodes
+    }
+    EpochWorkload(sim, processes, tree, config, max_delay=1.5).install()
+    FailureInjector(sim, processes).crash_at(90.0, 0)
+    for p in processes.values():
+        p.start()
+    sim.run(until=10 * 25.0 + 200.0)
+    print(f"  detections: {len(sink_role.detections)} "
+          f"(latest at t={max((d.time for d in sink_role.detections), default=0):.2f})")
+    print("  -> nothing after t=90: a single sink failure kills the "
+          "entire monitoring task.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: hierarchical Definitely(Φ) detection on a 7-node tree.
+
+Builds a complete binary spanning tree of height 3, runs the epoch
+workload (each process raises its local predicate 8 times; 70% of
+epochs are globally synchronized), and prints every satisfaction of the
+global conjunctive predicate the root detects — plus the message/space
+economics compared against the centralized baseline on the *same*
+workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EpochConfig, SpanningTree, run_centralized, run_hierarchical
+
+def main() -> None:
+    tree = SpanningTree.regular(d=2, h=3)  # 7 nodes, root 0
+    config = EpochConfig(epochs=8, sync_prob=0.7)
+
+    print(f"Spanning tree: d={tree.degree}, h={tree.height}, n={tree.n}")
+    print()
+
+    result = run_hierarchical(tree, seed=42, config=config)
+
+    print("Hierarchical detection — occurrences of Definitely(Φ):")
+    for record in result.detections:
+        concrete = sorted(
+            (iv.owner, iv.seq) for iv in record.aggregate.concrete_leaves()
+        )
+        print(
+            f"  t={record.time:8.2f}  detected by P{record.detector}  "
+            f"solution set: {concrete}"
+        )
+    print()
+
+    baseline = run_centralized(SpanningTree.regular(d=2, h=3), seed=42, config=config)
+    print("Same workload, hierarchical vs centralized [12]:")
+    rows = [
+        ("occurrences detected", result.metrics.root_detections,
+         baseline.metrics.root_detections),
+        ("control messages (hop-counted)", result.metrics.control_messages,
+         baseline.metrics.control_messages),
+        ("max comparisons at any node", result.metrics.max_comparisons_per_node,
+         baseline.metrics.max_comparisons_per_node),
+        ("max queued intervals at any node", result.metrics.max_queue_per_node,
+         baseline.metrics.max_queue_per_node),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"  {'metric'.ljust(width)}  hierarchical  centralized")
+    for name, hier, cent in rows:
+        print(f"  {name.ljust(width)}  {str(hier).rjust(12)}  {str(cent).rjust(11)}")
+    print()
+    print(
+        "Note the identical detection count, the smaller message bill, and\n"
+        "the per-node load: the centralized sink does all the work, the\n"
+        "hierarchy spreads it (Table I of the paper)."
+    )
+    print()
+    from repro.analysis import render_summary, summarize_run
+
+    print(render_summary(summarize_run(result), title="Hierarchical run digest"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Trace tooling: capture, visualize, archive, and replay executions.
+
+A monitoring deployment produces executions worth keeping: this example
+captures a live run, draws its timing diagram the way the paper draws
+Figures 1–3, saves it to JSON, reloads it, and replays it offline
+through three different detectors — demonstrating that the whole
+detection stack is a pure function of the recorded ``(E, ≺)``.
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import EpochConfig, SpanningTree, run_hierarchical
+from repro.analysis import render_timeline
+from repro.detect import (
+    OneShotDefinitelyCore,
+    TokenDefinitelyDetector,
+    replay_centralized,
+)
+from repro.detect.offline import replay_hierarchical
+from repro.sim import load_trace, save_trace
+from repro.workload import figure2_execution
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    print("1. The paper's Figure 2 execution, as a timing diagram")
+    print("   (#: predicate true; i/s/r: internal/send/recv, uppercase")
+    print("   while the predicate holds):")
+    print()
+    trace = figure2_execution().trace
+    print(render_timeline(trace))
+    print()
+
+    # ------------------------------------------------------------------
+    print("2. Capture a live 7-node run and archive it")
+    result = run_hierarchical(
+        SpanningTree.regular(2, 3), seed=3,
+        config=EpochConfig(epochs=4, sync_prob=0.8),
+    )
+    live = result.trace
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.json"
+        save_trace(live, path)
+        print(f"   saved {live.event_count()} events "
+              f"({path.stat().st_size} bytes JSON)")
+        reloaded = load_trace(path)
+    print(f"   reloaded: {reloaded.event_count()} events, "
+          f"{sum(len(v) for v in reloaded.all_intervals().values())} intervals")
+    print()
+
+    # ------------------------------------------------------------------
+    print("3. Replay the archived trace through every detector")
+    tree = SpanningTree.regular(2, 3)
+    centralized = replay_centralized(reloaded, sink=0)
+    hierarchical = replay_hierarchical(reloaded, tree)[0]
+
+    one_shot = OneShotDefinitelyCore(0, range(reloaded.n))
+    token = TokenDefinitelyDetector(range(reloaded.n))
+    token.start()
+    for interval in reloaded.intervals_in_completion_order():
+        one_shot.offer(interval.owner, interval)
+        token.offer(interval.owner, interval)
+
+    print(f"   live hierarchical run    : {len(result.detections)} occurrences")
+    print(f"   centralized replay [12]  : {len(centralized)} occurrences")
+    print(f"   hierarchical replay      : {len(hierarchical)} occurrences")
+    print(f"   one-shot replay [7]      : "
+          f"{1 if one_shot.detection else 0} (first only, then hangs)")
+    print(f"   token replay (≈[11])     : "
+          f"{1 if token.detection else 0} (first only, "
+          f"{token.token.hops} token hops)")
+    assert len(centralized) == len(hierarchical) == len(result.detections)
+    print()
+    print("Replays agree with the live run — detection is a pure function")
+    print("of the recorded causality, so archived traces are full repro-")
+    print("duction artifacts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Complexity formulas (Section IV), empirical metrics and reporting."""
+
+from .complexity import (
+    centralized_messages,
+    centralized_messages_paper_eq14,
+    centralized_messages_sum,
+    centralized_time_bound,
+    hierarchical_messages,
+    hierarchical_messages_sum,
+    hierarchical_time_bound,
+    paper_n,
+    space_bound,
+    table1_rows,
+    tree_nodes,
+)
+from .metrics import (
+    NodeMetrics,
+    RunMetrics,
+    collect_centralized,
+    collect_hierarchical,
+)
+from .report import render_kv, render_series, render_table
+from .summary import RunSummary, render_summary, summarize_run
+from .timeline import render_timeline
+
+__all__ = [
+    "NodeMetrics",
+    "RunMetrics",
+    "RunSummary",
+    "centralized_messages",
+    "centralized_messages_paper_eq14",
+    "centralized_messages_sum",
+    "centralized_time_bound",
+    "collect_centralized",
+    "collect_hierarchical",
+    "hierarchical_messages",
+    "hierarchical_messages_sum",
+    "hierarchical_time_bound",
+    "paper_n",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "render_summary",
+    "render_timeline",
+    "space_bound",
+    "summarize_run",
+    "table1_rows",
+    "tree_nodes",
+]

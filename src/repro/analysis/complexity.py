@@ -1,0 +1,154 @@
+"""Closed-form complexity results of Section IV.
+
+The message-count formulas behind Table I and Figures 4–5, in both the
+paper's printed form and a corrected form.
+
+Hierarchical detection (Eq. 11) — verified against the direct sum:
+
+    total = Σ_{i=1}^{h-1} d^{h-i} · p · d^{i-1} · α^{i-1}
+          = p · d^{h-1} · (1 - α^{h-1}) / (1 - α)
+
+Centralized repeated detection routed over the same tree (Eq. 12):
+
+    total = Σ_{i=1}^{h-1} p · d^{h-i} · (h - i)        [definition]
+          = p · Σ_{j=1}^{h-1} j · d^j                   [substituting j=h-i]
+          = p · d · ((h-1)·d^h - h·d^{h-1} + 1) / (d-1)²
+
+**Erratum.** The paper's Eq. (13)–(14) closed form,
+``p·((d^h - 2d)(dh - d - h) - d)/(d-1)²``, does not equal its own
+definition Eq. (12): at ``d=2, h=3`` Eq. (12) sums to ``10p`` while
+Eq. (14) evaluates to ``2p``.  The algebra from Eq. (13) onward drops
+terms.  We therefore expose
+
+* :func:`centralized_messages` — the corrected closed form (equal to
+  the direct sum; tests verify the identity symbolically over a grid),
+* :func:`centralized_messages_paper_eq14` — the printed formula, kept
+  for comparison and documented in EXPERIMENTS.md.
+
+Every qualitative conclusion of the paper survives the correction: the
+centralized total grows as ``Θ(p·h·d^{h-1})`` versus the hierarchical
+``Θ(p·d^{h-1})`` (for α bounded away from 1), so the hierarchical
+algorithm wins by a factor ``≈ (h-1)(1-α)``, growing with network size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "tree_nodes",
+    "paper_n",
+    "hierarchical_messages",
+    "hierarchical_messages_sum",
+    "centralized_messages",
+    "centralized_messages_sum",
+    "centralized_messages_paper_eq14",
+    "hierarchical_time_bound",
+    "centralized_time_bound",
+    "space_bound",
+    "table1_rows",
+]
+
+
+def tree_nodes(d: int, h: int) -> int:
+    """Exact node count of a complete ``d``-ary tree with ``h`` levels."""
+    if d < 1 or h < 1:
+        raise ValueError("need d >= 1 and h >= 1")
+    if d == 1:
+        return h
+    return (d**h - 1) // (d - 1)
+
+
+def paper_n(d: int, h: int) -> int:
+    """The paper's size approximation ``n = d^h`` (stated under Table I)."""
+    return d**h
+
+
+# ----------------------------------------------------------------------
+# hierarchical algorithm (Eq. 11)
+# ----------------------------------------------------------------------
+def hierarchical_messages_sum(p: int, d: int, h: int, alpha: float) -> float:
+    """Direct evaluation of the level-by-level sum (pre-Eq. 11)."""
+    return float(
+        sum(d ** (h - i) * p * d ** (i - 1) * alpha ** (i - 1) for i in range(1, h))
+    )
+
+
+def hierarchical_messages(p: int, d: int, h: int, alpha: float) -> float:
+    """Eq. (11): ``p · d^(h-1) · (1 - α^(h-1)) / (1 - α)``."""
+    if h < 1:
+        raise ValueError("need h >= 1")
+    if h == 1:
+        return 0.0  # a single node sends nothing
+    if alpha == 1.0:
+        return float(p * d ** (h - 1) * (h - 1))
+    return float(p * d ** (h - 1) * (1 - alpha ** (h - 1)) / (1 - alpha))
+
+
+# ----------------------------------------------------------------------
+# centralized algorithm (Eq. 12 / corrected Eq. 14)
+# ----------------------------------------------------------------------
+def centralized_messages_sum(p: int, d: int, h: int) -> float:
+    """Direct evaluation of Eq. (12): ``Σ p·d^(h-i)·(h-i)``."""
+    return float(sum(p * d ** (h - i) * (h - i) for i in range(1, h)))
+
+
+def centralized_messages(p: int, d: int, h: int) -> float:
+    """Corrected closed form of Eq. (12):
+    ``p · d · ((h-1)·d^h - h·d^(h-1) + 1) / (d-1)²`` (see erratum)."""
+    if h < 1:
+        raise ValueError("need h >= 1")
+    if h == 1:
+        return 0.0
+    if d == 1:
+        return float(p * h * (h - 1) // 2)
+    return float(p * d * ((h - 1) * d**h - h * d ** (h - 1) + 1) / (d - 1) ** 2)
+
+
+def centralized_messages_paper_eq14(p: int, d: int, h: int) -> float:
+    """The paper's printed Eq. (14) — kept verbatim for comparison.
+
+    Known erratum: does not match Eq. (12); see the module docstring.
+    """
+    if d == 1:
+        raise ValueError("Eq. (14) is undefined at d=1")
+    return float(p * ((d**h - 2 * d) * (d * h - d - h) - d) / (d - 1) ** 2)
+
+
+# ----------------------------------------------------------------------
+# time / space bounds of Table I
+# ----------------------------------------------------------------------
+def hierarchical_time_bound(p: int, n: int, d: int) -> float:
+    """``O(d² p n²)`` — distributed across all nodes."""
+    return float(d * d * p * n * n)
+
+
+def centralized_time_bound(p: int, n: int) -> float:
+    """``O(p n³)`` — all at the sink."""
+    return float(p * n**3)
+
+
+def space_bound(p: int, n: int) -> float:
+    """``O(p n²)`` for both algorithms (differing only in placement)."""
+    return float(p * n * n)
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Table I verbatim (symbolic)."""
+    return [
+        {
+            "metric": "Space Complexity",
+            "hierarchical": "O(p n^2) (distributed across all processes)",
+            "centralized": "O(p n^2) (at the sink node)",
+        },
+        {
+            "metric": "Time Complexity",
+            "hierarchical": "O(d^2 p n^2) (distributed across all processes)",
+            "centralized": "O(p n^3) (at the sink node)",
+        },
+        {
+            "metric": "Message Complexity",
+            "hierarchical": "p d^(h-1) (1-a^(h-1))/(1-a)   [Eq. 11]",
+            "centralized": "p d ((h-1)d^h - h d^(h-1) + 1)/(d-1)^2   [Eq. 12, corrected closed form]",
+        },
+    ]

@@ -1,0 +1,46 @@
+"""Plain-text rendering of tables and figure series.
+
+The experiment harness prints the same rows and series the paper
+reports; these helpers keep the formatting in one place (and out of the
+experiment logic, which returns structured data the tests consume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(title: str, xs: Sequence[object], series: Dict[str, Sequence[float]]) -> str:
+    """One figure's data as a table: x column plus one column per curve."""
+    headers = ["x", *series.keys()]
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(f"{value:.6g}" if isinstance(value, float) else value)
+        rows.append(row)
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def render_kv(title: str, pairs: Dict[str, object]) -> str:
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title]
+    lines.extend(f"  {k.ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines)

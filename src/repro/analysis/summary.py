@@ -1,0 +1,114 @@
+"""Run summaries: one human-readable digest per simulation run.
+
+Collects everything an operator would ask of a finished run — what was
+detected, what it cost, where the load sat, how stale announcements
+were, what failed and recovered — into a :class:`RunSummary` with a
+plain-text rendering.  Examples and the CLI use it; tests treat it as
+the single source of truth for run-level accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .report import render_kv, render_table
+
+__all__ = ["RunSummary", "summarize_run", "render_summary"]
+
+
+@dataclass
+class RunSummary:
+    n: int
+    detections: int
+    full_detections: int
+    partial_detections: int
+    distinct_memberships: int
+    control_messages: int
+    app_messages: int
+    control_bandwidth_entries: int
+    max_comparisons_per_node: int
+    total_comparisons: int
+    max_queue_per_node: int
+    comparisons_gini: float
+    realized_alpha_by_level: Dict[int, float] = field(default_factory=dict)
+    latency_mean: Optional[float] = None
+    latency_p95: Optional[float] = None
+    crashes: int = 0
+    rejoins: int = 0
+    partitions: int = 0
+
+
+def summarize_run(result) -> RunSummary:
+    """Digest a :class:`~repro.experiments.harness.RunResult`."""
+    members_seen = {record.members for record in result.detections}
+    full_size = max((len(m) for m in members_seen), default=0)
+    full = sum(1 for r in result.detections if len(r.members) == result.trace.n)
+    latencies: List[float] = []
+    for record in result.detections:
+        try:
+            completion = max(
+                result.trace.interval_close_time(interval)
+                for interval in record.solution.concrete_intervals()
+            )
+            latencies.append(record.time - completion)
+        except (IndexError, ValueError):  # pragma: no cover - defensive
+            continue
+    log = result.sim.log
+    return RunSummary(
+        n=result.trace.n,
+        detections=len(result.detections),
+        full_detections=full,
+        partial_detections=len(result.detections) - full,
+        distinct_memberships=len(members_seen),
+        control_messages=result.metrics.control_messages,
+        app_messages=result.metrics.app_messages,
+        control_bandwidth_entries=result.network.bandwidth_entries("control"),
+        max_comparisons_per_node=result.metrics.max_comparisons_per_node,
+        total_comparisons=result.metrics.total_comparisons,
+        max_queue_per_node=result.metrics.max_queue_per_node,
+        comparisons_gini=result.metrics.comparisons_gini(),
+        realized_alpha_by_level=dict(result.metrics.realized_alpha_by_level),
+        latency_mean=float(np.mean(latencies)) if latencies else None,
+        latency_p95=float(np.percentile(latencies, 95)) if latencies else None,
+        crashes=len(log.of_kind("crash")),
+        rejoins=len(log.of_kind("rejoin")),
+        partitions=len(log.of_kind("partitioned")),
+    )
+
+
+def render_summary(summary: RunSummary, *, title: str = "Run summary") -> str:
+    pairs = {
+        "processes": summary.n,
+        "detections (full / partial)": (
+            f"{summary.detections} ({summary.full_detections} / "
+            f"{summary.partial_detections})"
+        ),
+        "distinct memberships": summary.distinct_memberships,
+        "control messages (hops)": summary.control_messages,
+        "control bandwidth (entries)": summary.control_bandwidth_entries,
+        "app messages": summary.app_messages,
+        "comparisons total / max node": (
+            f"{summary.total_comparisons} / {summary.max_comparisons_per_node}"
+        ),
+        "comparison concentration (gini)": f"{summary.comparisons_gini:.3f}",
+        "peak queue (max node)": summary.max_queue_per_node,
+    }
+    if summary.latency_mean is not None:
+        pairs["detection latency mean / p95"] = (
+            f"{summary.latency_mean:.2f} / {summary.latency_p95:.2f}"
+        )
+    if summary.crashes or summary.rejoins or summary.partitions:
+        pairs["crashes / rejoins / partitions"] = (
+            f"{summary.crashes} / {summary.rejoins} / {summary.partitions}"
+        )
+    text = render_kv(title, pairs)
+    if summary.realized_alpha_by_level:
+        rows = [
+            [level, f"{alpha:.3f}"]
+            for level, alpha in sorted(summary.realized_alpha_by_level.items())
+        ]
+        text += "\n" + render_table(["level", "realized alpha"], rows)
+    return text

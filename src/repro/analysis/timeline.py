@@ -1,0 +1,62 @@
+"""ASCII timing diagrams of executions — the paper's figures, in text.
+
+Renders a trace the way the paper draws its timing diagrams: one lane
+per process, events in a shared (linearized) order, predicate-true
+spans shaded, messages annotated.  Invaluable when debugging a
+detection discrepancy on a counterexample trace.
+
+Example (Figure 1's staggered scenario)::
+
+    P0 |  #####d###########c###u###  .
+    P1 |  .......#####c#######d####u
+
+(`#` predicate true, `.` false; `u`/`d`/`c` mark send ("up"), receive
+("down") and internal ("change") events inside the span.)
+
+The renderer is deliberately simple: columns are global event order,
+not wall-clock time — exactly the information ``(E, ≺)`` carries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.trace import EventKind, ExecutionTrace
+
+__all__ = ["render_timeline"]
+
+_MARKS = {EventKind.INTERNAL: "i", EventKind.SEND: "s", EventKind.RECV: "r"}
+
+
+def render_timeline(trace: ExecutionTrace, *, width: int = 0) -> str:
+    """One lane per process over the global event order.
+
+    Each event occupies one column at its ``global_order`` position and
+    is drawn as ``i``/``s``/``r`` (internal/send/receive), uppercase
+    when the local predicate is true after it.  Between events a lane
+    shows ``#`` while the predicate holds and ``.`` otherwise, so the
+    paper's shaded intervals are immediately visible.
+    """
+    total = trace.event_count()
+    if total == 0:
+        return "\n".join(f"P{p} |" for p in range(trace.n))
+    columns = max(total, width)
+    lanes: List[List[str]] = []
+    for p in range(trace.n):
+        value = trace.initial_predicate[p]
+        lane = []
+        events = {e.global_order: e for e in trace.events[p]}
+        for col in range(columns):
+            event = events.get(col)
+            if event is None:
+                lane.append("#" if value else ".")
+            else:
+                mark = _MARKS.get(event.kind, "?")
+                lane.append(mark.upper() if event.predicate else mark)
+                value = event.predicate
+        lanes.append(lane)
+    label_width = len(f"P{trace.n - 1}")
+    return "\n".join(
+        f"{('P' + str(p)).ljust(label_width)} |{''.join(lane)}"
+        for p, lane in enumerate(lanes)
+    )

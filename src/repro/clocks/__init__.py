@@ -1,0 +1,43 @@
+"""Vector clocks, timestamps and cuts (paper Section II-A)."""
+
+from .cut import Cut, cut_of_events, is_consistent_cut
+from .encoding import (
+    best_encoding,
+    decode_differential,
+    decode_sparse,
+    encode_differential,
+    encode_sparse,
+)
+from .vector_clock import (
+    Timestamp,
+    VectorClock,
+    freeze,
+    join,
+    meet,
+    vc_concurrent,
+    vc_equal,
+    vc_le,
+    vc_less,
+    vc_not_less,
+)
+
+__all__ = [
+    "Cut",
+    "best_encoding",
+    "decode_differential",
+    "decode_sparse",
+    "encode_differential",
+    "encode_sparse",
+    "Timestamp",
+    "VectorClock",
+    "cut_of_events",
+    "freeze",
+    "is_consistent_cut",
+    "join",
+    "meet",
+    "vc_concurrent",
+    "vc_equal",
+    "vc_le",
+    "vc_less",
+    "vc_not_less",
+]

@@ -1,0 +1,99 @@
+"""Cuts of a distributed execution.
+
+The bounds of an aggregated interval (Eq. 5–6 of the paper) are not event
+timestamps but *cuts* — length-``n`` vectors describing, for every
+process, how many of its events are included.  The paper notes this
+explicitly after Theorem 1: "These are not events but cuts in execution
+``(E, ≺)``, identified by their vector timestamps."
+
+This module provides the small amount of cut-specific reasoning the
+library needs: consistency checking against a recorded execution, and
+the relation between cuts and event timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .vector_clock import Timestamp, freeze, join, meet, vc_le
+
+__all__ = ["Cut", "is_consistent_cut", "cut_of_events"]
+
+
+class Cut:
+    """A cut, wrapping a vector timestamp with set-like helpers.
+
+    A cut ``C`` includes, for each process ``i``, the first ``C[i]``
+    events of that process.  A cut is *consistent* when it is
+    left-closed under happens-before.
+    """
+
+    __slots__ = ("vector",)
+
+    def __init__(self, vector) -> None:
+        self.vector: Timestamp = freeze(vector)
+
+    @property
+    def n(self) -> int:
+        return self.vector.shape[0]
+
+    def includes_event(self, process: int, local_index: int) -> bool:
+        """True when the *local_index*-th event (1-based, matching vector
+        clock components) of *process* lies inside the cut."""
+        return local_index <= int(self.vector[process])
+
+    def union(self, other: "Cut") -> "Cut":
+        return Cut(join(self.vector, other.vector))
+
+    def intersection(self, other: "Cut") -> "Cut":
+        return Cut(meet(self.vector, other.vector))
+
+    def __le__(self, other: "Cut") -> bool:
+        return vc_le(self.vector, other.vector)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cut) and bool(
+            np.array_equal(self.vector, other.vector)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.vector.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cut({self.vector.tolist()})"
+
+
+def is_consistent_cut(cut_vector: Timestamp, event_timestamps: Sequence[Sequence[Timestamp]]) -> bool:
+    """Check that a cut is consistent with a recorded execution.
+
+    Parameters
+    ----------
+    cut_vector:
+        Candidate cut, one entry per process.
+    event_timestamps:
+        ``event_timestamps[i][k]`` is the vector timestamp of the
+        ``k``-th event (0-based) executed by process ``i``.
+
+    A cut is consistent iff for every event it includes, every event that
+    happens-before it is also included; with vector clocks this reduces
+    to: the timestamp of the last included event of each process must be
+    component-wise ``<=`` the cut vector.
+    """
+    cut_vector = np.asarray(cut_vector)
+    for i, events in enumerate(event_timestamps):
+        k = int(cut_vector[i])
+        if k < 0 or k > len(events):
+            return False
+        if k == 0:
+            continue
+        last = events[k - 1]
+        if not vc_le(last, cut_vector):
+            return False
+    return True
+
+
+def cut_of_events(timestamps: Sequence[Timestamp]) -> Cut:
+    """Smallest consistent cut containing all of *timestamps* (their join)."""
+    return Cut(join(*timestamps))

@@ -1,0 +1,98 @@
+"""Timestamp compression for control-plane reports.
+
+Every control message carries vector timestamps of length ``n`` — the
+O(n)-per-message factor in all of Section IV's message-size accounting,
+and the dominant wire cost in the "resource-constraint network[s]" the
+paper targets.  Two classical encodings cut it down:
+
+* **Sparse encoding** — transmit only the non-zero components as
+  ``(index, value)`` pairs.  Early in a run (and for processes that
+  communicate locally) most components are zero.
+* **Differential encoding** (Singhal–Kshemkalyani style) — against a
+  reference timestamp both ends already share (the previous report on
+  the same channel), transmit only the components that changed.
+  Consecutive aggregates from the same child differ in few components
+  when activity is localized, so report streams compress well.
+
+Encoders return ``(payload, entries)`` where *entries* is the wire cost
+in integer entries, comparable with
+:func:`repro.sim.messages.payload_entries`; decoders invert exactly.
+The ablation bench measures realized savings on simulated report
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .vector_clock import Timestamp, freeze
+
+__all__ = [
+    "encode_sparse",
+    "decode_sparse",
+    "encode_differential",
+    "decode_differential",
+    "best_encoding",
+]
+
+
+def encode_sparse(ts: Timestamp) -> Tuple[list, int]:
+    """``(index, value)`` pairs for non-zero components.
+
+    Wire cost: ``1 + 2·nnz`` entries (one for the length-``n`` header so
+    the decoder can rebuild the vector, two per pair).
+    """
+    indices = np.flatnonzero(ts)
+    payload = [(int(i), int(ts[i])) for i in indices]
+    return payload, 1 + 2 * len(payload)
+
+
+def decode_sparse(payload: list, n: int) -> Timestamp:
+    out = np.zeros(n, dtype=np.int64)
+    for index, value in payload:
+        out[index] = value
+    return freeze(out)
+
+
+def encode_differential(
+    ts: Timestamp, reference: Optional[Timestamp]
+) -> Tuple[list, int]:
+    """Components that differ from *reference* (``None`` = all zeros).
+
+    Wire cost: ``1 + 2·#changed`` entries.  Timestamps from the same
+    monotone stream only ever grow, so the decoder can apply changes on
+    top of its copy of the reference.
+    """
+    if reference is None:
+        return encode_sparse(ts)
+    if reference.shape != ts.shape:
+        raise ValueError("reference must have the same number of components")
+    changed = np.flatnonzero(ts != reference)
+    payload = [(int(i), int(ts[i])) for i in changed]
+    return payload, 1 + 2 * len(payload)
+
+
+def decode_differential(
+    payload: list, reference: Optional[Timestamp], n: int
+) -> Timestamp:
+    if reference is None:
+        return decode_sparse(payload, n)
+    out = np.array(reference, dtype=np.int64, copy=True)
+    for index, value in payload:
+        out[index] = value
+    return freeze(out)
+
+
+def best_encoding(ts: Timestamp, reference: Optional[Timestamp]) -> Tuple[str, int]:
+    """The cheapest of raw / sparse / differential for this timestamp,
+    as ``(name, entries)`` — what an adaptive sender would pick."""
+    n = int(ts.shape[0])
+    options = [("raw", n)]
+    _, sparse_cost = encode_sparse(ts)
+    options.append(("sparse", sparse_cost))
+    if reference is not None:
+        _, diff_cost = encode_differential(ts, reference)
+        options.append(("differential", diff_cost))
+    return min(options, key=lambda pair: pair[1])

@@ -1,0 +1,51 @@
+"""Predicate-detection algorithms: the hierarchical detector (paper),
+the centralized repeated baseline [12], one-shot baselines [7], [8],
+and offline ground-truth oracles."""
+
+from .base import CoreStats, Solution
+from .centralized import CentralizedSinkCore
+from .core import RepeatedDetectionCore
+from .garg_waldecker import OneShotDefinitelyCore
+from .hierarchical import Emission, EmissionKind, HierarchicalNodeCore
+from .offline import (
+    enumerate_solution_sets,
+    holds_definitely,
+    lattice_definitely,
+    lattice_possibly,
+    replay_centralized,
+)
+from .possibly import PossiblyCore
+from .roles_token import TokenMessage, TokenRole
+from .token import TokenDefinitelyDetector, TokenState
+from .roles import (
+    CentralizedReporterRole,
+    CentralizedSinkRole,
+    DetectionRecord,
+    HierarchicalRole,
+    PossiblySinkRole,
+)
+
+__all__ = [
+    "CentralizedReporterRole",
+    "CentralizedSinkCore",
+    "CentralizedSinkRole",
+    "CoreStats",
+    "DetectionRecord",
+    "Emission",
+    "EmissionKind",
+    "HierarchicalNodeCore",
+    "OneShotDefinitelyCore",
+    "PossiblyCore",
+    "PossiblySinkRole",
+    "RepeatedDetectionCore",
+    "Solution",
+    "TokenDefinitelyDetector",
+    "TokenMessage",
+    "TokenRole",
+    "TokenState",
+    "enumerate_solution_sets",
+    "holds_definitely",
+    "lattice_definitely",
+    "lattice_possibly",
+    "replay_centralized",
+]

@@ -1,0 +1,78 @@
+"""Shared detector types: solutions, statistics and the core interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List
+
+from ..intervals import Interval
+
+__all__ = ["Solution", "CoreStats"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One detected occurrence of ``Definitely(Φ)`` within some scope.
+
+    Attributes
+    ----------
+    detector:
+        Node id of the process that detected this solution.
+    index:
+        0-based detection counter at that node.
+    heads:
+        The solution set — queue key → head interval at detection time.
+        At hierarchy level >= 2 some of these are aggregated intervals.
+    """
+
+    detector: int
+    index: int
+    heads: Dict[Hashable, Interval]
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return list(self.heads.values())
+
+    def concrete_intervals(self) -> List[Interval]:
+        """Unfold aggregation provenance down to concrete per-process
+        intervals — the full solution set this occurrence witnesses."""
+        out: List[Interval] = []
+        for interval in self.heads.values():
+            out.extend(interval.concrete_leaves())
+        return out
+
+    @property
+    def members(self) -> frozenset:
+        """Processes whose local predicates this solution covers."""
+        return frozenset().union(*(x.members for x in self.heads.values()))
+
+
+@dataclass
+class CoreStats:
+    """Operation counters for the complexity experiments (Section IV).
+
+    ``comparisons`` counts vector-timestamp comparisons — the unit in
+    which the paper states time complexity (each comparison is ``O(n)``
+    component work).  ``detections`` counts solutions, ``pruned``
+    head-deletions of either kind.
+    """
+
+    comparisons: int = 0
+    detections: int = 0
+    pruned_incompatible: int = 0
+    pruned_after_solution: int = 0
+    offers: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def pruned_total(self) -> int:
+        return self.pruned_incompatible + self.pruned_after_solution
+
+    def merge(self, other: "CoreStats") -> None:
+        self.comparisons += other.comparisons
+        self.detections += other.detections
+        self.pruned_incompatible += other.pruned_incompatible
+        self.pruned_after_solution += other.pruned_after_solution
+        self.offers += other.offers
+        for key, val in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + val

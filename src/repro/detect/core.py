@@ -1,0 +1,218 @@
+"""The repeated-detection queue machine (Algorithm 1, lines 1–33).
+
+This is the shared engine behind every detector in the library:
+
+* the **hierarchical** node (paper's contribution) runs it over one
+  queue per child plus one for local intervals;
+* the **centralized repeated-detection** baseline [12] runs it at the
+  sink over one queue per process in the system;
+* the **one-shot Garg–Waldecker** baseline runs only the
+  incompatibility-pruning half and stops at the first solution.
+
+Control flow
+------------
+The paper's listing is ambiguous about whether the solution check
+(line 18) sits inside the ``while`` of line 4.  The reading implemented
+here — the only one that is both safe and complete — is:
+
+1. run the pairwise incompatibility pruning (lines 4–17) to a fixed
+   point, so that every surviving head has been checked against every
+   other head;
+2. if *all* queues are then non-empty, the heads form a solution
+   (report it), prune per Eq. (10) (lines 23–33), and go back to 1 with
+   the pruned queues marked updated — this is what makes detection
+   *repeated* within a single activation.
+
+Deletion rules
+--------------
+* lines 12–15: if ``min(x) ≮ max(y)`` then ``y`` can never belong to a
+  solution containing ``x`` *or any successor of* ``x`` (successors'
+  ``min`` dominates ``min(x)`` component-wise), so ``y`` is useless and
+  is deleted; symmetrically for ``x``.
+* Eq. (10): after a solution, delete every head ``x_a`` with
+  ``∀ b≠a: max(x_b) ≮ max(x_a)`` — safe (Theorem 3) and guaranteed to
+  delete at least one head (Theorem 4), ensuring progress.
+
+We implement the exact ``≮`` test rather than the paper's line 26–29
+short-circuit, which misses the (vector-equality) boundary case; see
+DESIGN.md.  Both agree on all executions where ``max`` timestamps are
+distinct, which property tests confirm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..clocks import vc_less
+from ..intervals import Interval, IntervalQueue
+from .base import CoreStats, Solution
+
+__all__ = ["RepeatedDetectionCore"]
+
+
+class RepeatedDetectionCore:
+    """Queues + the repeated ``Definitely(Φ)`` detection procedure.
+
+    Parameters
+    ----------
+    keys:
+        Initial queue keys (e.g. ``0`` for local intervals and one key
+        per child).  Queues may be added/removed later — the fault
+        layer does so when the spanning tree is repaired.
+    detector_id:
+        Node id stamped on emitted :class:`Solution` records.
+    repeated:
+        When ``False``, the core stops after its first solution and
+        ignores all later input — modelling the one-shot baselines the
+        paper contrasts against (Section I: they "hang after the
+        initial detection").
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[Hashable],
+        detector_id: int = 0,
+        *,
+        repeated: bool = True,
+    ) -> None:
+        self.queues: Dict[Hashable, IntervalQueue] = {
+            key: IntervalQueue() for key in keys
+        }
+        if not self.queues:
+            raise ValueError("a detection core needs at least one queue")
+        self.detector_id = detector_id
+        self.repeated = repeated
+        self.stats = CoreStats()
+        self.solutions: List[Solution] = []
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # queue management (used by the fault layer on tree repair)
+    # ------------------------------------------------------------------
+    def add_queue(self, key: Hashable) -> None:
+        if key in self.queues:
+            raise KeyError(f"queue {key!r} already exists")
+        self.queues[key] = IntervalQueue()
+
+    def remove_queue(self, key: Hashable) -> List[Solution]:
+        """Drop a queue (child failed / detached).
+
+        Removing a queue can *unblock* detection: the remaining heads
+        may already form a solution that was only waiting on the dead
+        child.  We therefore re-run detection over all non-empty queues.
+        """
+        del self.queues[key]
+        if self._halted or not self.queues:
+            return []
+        updated = {k for k, q in self.queues.items() if q}
+        return self._detect(updated) if updated else []
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # the algorithm
+    # ------------------------------------------------------------------
+    def offer(self, key: Hashable, interval: Interval) -> List[Solution]:
+        """Deliver one interval from source *key* (Algorithm 1, line 1).
+
+        Returns the solutions detected as a consequence (possibly more
+        than one: a single arrival can unblock a cascade).
+        """
+        if self._halted:
+            return []
+        queue = self.queues[key]
+        queue.enqueue(interval)
+        self.stats.offers += 1
+        # Line 2: only a fresh head can change the outcome of detection.
+        if len(queue) != 1:
+            return []
+        return self._detect({key})
+
+    def _vc_less(self, u, v) -> bool:
+        self.stats.comparisons += 1
+        return vc_less(u, v)
+
+    def _detect(self, updated: set) -> List[Solution]:
+        found: List[Solution] = []
+        queues = self.queues
+        while True:
+            # --- lines 4–17: prune mutually incompatible heads to fixpoint
+            while updated:
+                new_updated: set = set()
+                for a in updated:
+                    queue_a = queues.get(a)
+                    if not queue_a:
+                        continue
+                    x = queue_a.head
+                    for b, queue_b in queues.items():
+                        if b == a or not queue_b:
+                            continue
+                        y = queue_b.head
+                        if not self._vc_less(x.lo, y.hi):
+                            new_updated.add(b)
+                        if not self._vc_less(y.lo, x.hi):
+                            new_updated.add(a)
+                for c in new_updated:
+                    if queues[c]:
+                        queues[c].dequeue()
+                        self.stats.pruned_incompatible += 1
+                updated = new_updated
+            # --- line 18: solution iff every queue has a head
+            if not all(queues.values()):
+                return found
+            heads = {key: q.head for key, q in queues.items()}
+            solution = Solution(
+                detector=self.detector_id,
+                index=len(self.solutions),
+                heads=heads,
+            )
+            self.solutions.append(solution)
+            self.stats.detections += 1
+            found.append(solution)
+            if not self.repeated:
+                self._halted = True
+                return found
+            # --- lines 23–33: Eq. (10) pruning for repeated detection
+            removable = self._removable_heads(heads)
+            assert removable, "Theorem 4 guarantees at least one removal"
+            for key in removable:
+                queues[key].dequeue()
+                self.stats.pruned_after_solution += 1
+            updated = removable
+
+    def _removable_heads(self, heads: Dict[Hashable, Interval]) -> set:
+        """Keys whose head satisfies Eq. (10):
+        ``∀ b≠a: max(x_b) ≮ max(x_a)`` — i.e. heads whose ``max`` is
+        minimal under the strict vector order among all heads."""
+        keys = list(heads)
+        removable = set()
+        for a in keys:
+            hi_a = heads[a].hi
+            if all(
+                not self._vc_less(heads[b].hi, hi_a) for b in keys if b != a
+            ):
+                removable.add(a)
+        return removable
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def queue_sizes(self) -> Dict[Hashable, int]:
+        return {key: len(q) for key, q in self.queues.items()}
+
+    def space_in_use(self) -> int:
+        """Current storage in *vector entries* (each interval stores two
+        length-``n`` timestamps) — the unit of the paper's space
+        analysis (Section IV-B)."""
+        total = 0
+        for queue in self.queues.values():
+            for interval in queue:
+                total += 2 * interval.n
+        return total
+
+    def peak_queue_space(self) -> int:
+        """Peak total queued intervals observed (sum of per-queue peaks,
+        an upper bound on the true simultaneous peak)."""
+        return sum(q.peak_size for q in self.queues.values())

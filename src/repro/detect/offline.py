@@ -1,0 +1,198 @@
+"""Offline ground truth for ``Definitely(Φ)``.
+
+Three independent oracles used by the test-suite to validate the online
+detectors:
+
+1. :func:`enumerate_solution_sets` / :func:`holds_definitely` — brute
+   force over all combinations of one interval per process, testing the
+   overlap condition (Eq. 2) directly.  Exponential; fine for the small
+   executions tests use.
+2. :func:`lattice_definitely` — the Cooper–Marzullo-style global-state
+   lattice walk: ``Definitely(Φ)`` holds iff *every* observation (path
+   through the lattice of consistent cuts) passes through a global
+   state satisfying ``Φ``; equivalently, iff the final state cannot be
+   reached from the initial one while avoiding ``Φ``-states.  This
+   oracle knows nothing about intervals or overlap, making it a truly
+   independent check of the Garg–Waldecker characterization.
+
+   *Semantics note.*  The interval conditions (Eq. 1–2) are stated on
+   event timestamps, while the lattice evaluates Φ on the states
+   *between* events.  At interval boundaries the two conventions can
+   differ by one event: when ``min(y)[i] == max(x)[i]`` (the first
+   event of ``y`` knows exactly the last true event of ``x``), the
+   event-based ``Possibly`` condition rejects the pair although a
+   consistent cut through both intervals exists.  The event-based
+   conditions are therefore *sound* but very slightly conservative
+   w.r.t. state semantics — the convention this whole literature
+   implements.  Empirically ``Definitely`` agrees exactly on random
+   executions; ``Possibly`` shows the documented one-sided slack.
+   Tests assert the sound directions unconditionally.
+3. :func:`replay_centralized` — the centralized repeated-detection
+   algorithm [12] replayed over a recorded trace with deterministic
+   delivery order; its solution sequence is the reference the
+   hierarchical algorithm's root detections are compared against.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..intervals import Interval, overlap
+from ..sim.trace import ExecutionTrace
+from .base import Solution
+from .centralized import CentralizedSinkCore
+
+__all__ = [
+    "enumerate_solution_sets",
+    "holds_definitely",
+    "lattice_definitely",
+    "lattice_possibly",
+    "replay_centralized",
+]
+
+
+def enumerate_solution_sets(
+    intervals_by_process: Dict[int, List[Interval]]
+) -> Iterator[Tuple[Interval, ...]]:
+    """Yield every combination (one interval per process) satisfying the
+    overlap condition — every possible ``Definitely(Φ)`` witness."""
+    processes = sorted(intervals_by_process)
+    pools = [intervals_by_process[p] for p in processes]
+    if any(not pool for pool in pools):
+        return
+    for combo in product(*pools):
+        if overlap(combo):
+            yield combo
+
+
+def holds_definitely(intervals_by_process: Dict[int, List[Interval]]) -> bool:
+    """Does at least one occurrence of ``Definitely(Φ)`` exist?"""
+    return next(enumerate_solution_sets(intervals_by_process), None) is not None
+
+
+# ----------------------------------------------------------------------
+# lattice oracle
+# ----------------------------------------------------------------------
+def _next_states(
+    cut: Tuple[int, ...], trace: ExecutionTrace
+) -> Iterator[Tuple[int, ...]]:
+    """Consistent cuts reachable by executing one more event."""
+    for i in range(trace.n):
+        k = cut[i]
+        events = trace.events[i]
+        if k >= len(events):
+            continue
+        ts = events[k].timestamp
+        # The next event of P_i is enabled iff all events it causally
+        # depends on are inside the cut.
+        ok = True
+        for j in range(trace.n):
+            if j != i and int(ts[j]) > cut[j]:
+                ok = False
+                break
+        if ok:
+            yield cut[:i] + (k + 1,) + cut[i + 1 :]
+
+
+def _phi(cut: Tuple[int, ...], trace: ExecutionTrace) -> bool:
+    """The conjunctive predicate in the global state after *cut*."""
+    return all(trace.predicate_after(i, cut[i]) for i in range(trace.n))
+
+
+def lattice_definitely(trace: ExecutionTrace) -> bool:
+    """``Definitely(Φ)`` by exhaustive lattice search (tiny runs only).
+
+    Walks the lattice of consistent cuts, staying on non-``Φ`` states;
+    ``Definitely`` holds iff the final cut is unreachable this way.
+    """
+    initial = tuple(0 for _ in range(trace.n))
+    final = tuple(len(evts) for evts in trace.events)
+    if _phi(initial, trace):
+        return True
+    seen = {initial}
+    stack = [initial]
+    while stack:
+        cut = stack.pop()
+        if cut == final:
+            return False
+        for nxt in _next_states(cut, trace):
+            if nxt in seen or _phi(nxt, trace):
+                continue
+            seen.add(nxt)
+            stack.append(nxt)
+    return True
+
+
+def lattice_possibly(trace: ExecutionTrace) -> bool:
+    """``Possibly(Φ)``: some consistent cut satisfies ``Φ``."""
+    initial = tuple(0 for _ in range(trace.n))
+    if _phi(initial, trace):
+        return True
+    seen = {initial}
+    stack = [initial]
+    while stack:
+        cut = stack.pop()
+        for nxt in _next_states(cut, trace):
+            if nxt in seen:
+                continue
+            if _phi(nxt, trace):
+                return True
+            seen.add(nxt)
+            stack.append(nxt)
+    return False
+
+
+# ----------------------------------------------------------------------
+# reference replay
+# ----------------------------------------------------------------------
+def replay_hierarchical(trace: ExecutionTrace, tree) -> Dict[int, List]:
+    """Run the hierarchical detector offline over a recorded trace.
+
+    Every node's :class:`~repro.detect.hierarchical.HierarchicalNodeCore`
+    is driven directly: local intervals are delivered in completion
+    order, and every emitted report is handed to the parent immediately
+    (the idealized instantaneous-channel schedule, matching
+    :func:`replay_centralized`).  Returns node id → its emissions, so
+    callers can inspect detections at *every* level of the hierarchy,
+    not just the root.
+    """
+    from .hierarchical import HierarchicalNodeCore
+
+    cores = {
+        pid: HierarchicalNodeCore(
+            pid, tree.children(pid), is_root=tree.parent_of(pid) is None
+        )
+        for pid in tree.nodes
+    }
+    emissions: Dict[int, List] = {pid: [] for pid in tree.nodes}
+
+    def propagate(pid: int, emitted) -> None:
+        emissions[pid].extend(emitted)
+        parent = tree.parent_of(pid)
+        if parent is None:
+            return
+        for emission in emitted:
+            propagate(
+                parent, cores[parent].offer_child(pid, emission.aggregate)
+            )
+
+    for interval in trace.intervals_in_completion_order():
+        if interval.owner not in cores:
+            continue  # process not in this (possibly post-failure) tree
+        propagate(interval.owner, cores[interval.owner].offer_local(interval))
+    return emissions
+
+
+def replay_centralized(trace: ExecutionTrace, sink: int = 0) -> List[Solution]:
+    """Run the centralized repeated-detection algorithm [12] over a
+    recorded trace, delivering intervals in completion order (the
+    idealized instantaneous-channel schedule).  Returns its solutions —
+    the reference occurrence sequence for the execution."""
+    core = CentralizedSinkCore(sink_id=sink, process_ids=range(trace.n))
+    out: List[Solution] = []
+    for interval in trace.intervals_in_completion_order():
+        out.extend(core.offer(interval.owner, interval))
+    return out

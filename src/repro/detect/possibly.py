@@ -1,0 +1,94 @@
+"""``Possibly(Φ)`` detection — the weak-modality baseline [8].
+
+Garg & Waldecker, "Detection of weak unstable predicates in distributed
+programs", IEEE TPDS 5(3), 1994.  Included to complete the detection
+suite the paper's Section II surveys: a centralized sink tracks one
+queue per process and searches for a set of intervals satisfying
+Eq. (1):
+
+    ``∀ x_i, x_j ∈ X (i≠j): max(x_i) ≮ min(x_j)``
+
+i.e. no interval in the set wholly precedes another.  The deletion rule
+is dual to the ``Definitely`` one: if ``max(x) < min(y)`` then ``x``
+ends before ``y`` (and before every successor of ``y``) begins, so
+``x`` can never join a solution — a solution needs a representative of
+``y``'s source — and is discarded.
+
+Like [8], the detector is one-shot: it reports the first satisfaction
+and halts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..clocks import vc_less
+from ..intervals import Interval, IntervalQueue
+from .base import CoreStats, Solution
+
+__all__ = ["PossiblyCore"]
+
+
+class PossiblyCore:
+    """Centralized one-shot ``Possibly(Φ)`` detector."""
+
+    def __init__(self, sink_id: int, process_ids: Iterable[int]) -> None:
+        self.sink_id = sink_id
+        self.queues: Dict[Hashable, IntervalQueue] = {
+            pid: IntervalQueue() for pid in process_ids
+        }
+        if not self.queues:
+            raise ValueError("need at least one process")
+        self.stats = CoreStats()
+        self.detection: Optional[Solution] = None
+
+    @property
+    def halted(self) -> bool:
+        return self.detection is not None
+
+    def _vc_less(self, u, v) -> bool:
+        self.stats.comparisons += 1
+        return vc_less(u, v)
+
+    def offer(self, process_id: int, interval: Interval) -> Optional[Solution]:
+        """Deliver one interval; returns the solution if this completes
+        the first satisfaction of ``Possibly(Φ)``."""
+        if self.halted:
+            return None
+        queue = self.queues[process_id]
+        queue.enqueue(interval)
+        self.stats.offers += 1
+        if len(queue) != 1:
+            return None
+        return self._detect({process_id})
+
+    def _detect(self, updated: set) -> Optional[Solution]:
+        queues = self.queues
+        while updated:
+            new_updated: set = set()
+            for a in updated:
+                queue_a = queues.get(a)
+                if not queue_a:
+                    continue
+                x = queue_a.head
+                for b, queue_b in queues.items():
+                    if b == a or not queue_b:
+                        continue
+                    y = queue_b.head
+                    if self._vc_less(x.hi, y.lo):
+                        new_updated.add(a)
+                    if self._vc_less(y.hi, x.lo):
+                        new_updated.add(b)
+            for c in new_updated:
+                if queues[c]:
+                    queues[c].dequeue()
+                    self.stats.pruned_incompatible += 1
+            updated = new_updated
+        if all(queues.values()):
+            heads = {key: q.head for key, q in queues.items()}
+            self.detection = Solution(
+                detector=self.sink_id, index=0, heads=heads
+            )
+            self.stats.detections += 1
+            return self.detection
+        return None

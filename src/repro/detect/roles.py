@@ -1,0 +1,412 @@
+"""Control-plane roles: detector cores embedded in the simulation.
+
+A role is the personality a :class:`~repro.sim.process.MonitoredProcess`
+runs on the control plane:
+
+* :class:`HierarchicalRole` — Algorithm 1 at one spanning-tree node:
+  detects over its subtree, reports ``⊓``-aggregates one hop to its
+  parent, exchanges heartbeats, and rewires itself under the repair
+  coordinator when the tree changes.
+* :class:`CentralizedReporterRole` — the baseline's per-node half:
+  forwards every local interval hop-by-hop to the sink.
+* :class:`CentralizedSinkRole` — the baseline's sink ([12] repeated
+  detection, or the one-shot Garg–Waldecker variant).
+
+Roles communicate only through the simulated network; channels are
+non-FIFO, so receivers run a per-sender
+:class:`~repro.intervals.ReorderBuffer` keyed by transport sequence
+numbers, which restart on every (re-)attachment epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..intervals import Interval, ReorderBuffer
+from ..sim.messages import Heartbeat, IntervalReport
+from ..sim.process import MonitoredProcess
+from .base import Solution
+from .centralized import CentralizedSinkCore
+from .garg_waldecker import OneShotDefinitelyCore
+from .possibly import PossiblyCore
+from .hierarchical import Emission, HierarchicalNodeCore
+
+__all__ = [
+    "DetectionRecord",
+    "HierarchicalRole",
+    "CentralizedReporterRole",
+    "CentralizedSinkRole",
+    "PossiblySinkRole",
+]
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One announced satisfaction of the (possibly partial) predicate."""
+
+    time: float
+    detector: int
+    solution: Solution
+    aggregate: Optional[Interval]
+
+    @property
+    def members(self) -> frozenset:
+        """Processes whose local predicates this detection covers."""
+        if self.aggregate is not None:
+            return self.aggregate.members
+        return self.solution.members
+
+
+class HierarchicalRole:
+    """Algorithm 1 node: subtree detection + reporting + fault handling.
+
+    Parameters
+    ----------
+    parent:
+        Initial parent in the spanning tree (``None`` for the root).
+    children:
+        Initial children.
+    heartbeat:
+        ``(period, timeout)`` to enable the Section III-F liveness
+        protocol, or ``None`` to run without failure handling.
+    coordinator:
+        The :class:`~repro.fault.RepairCoordinator` to notify on
+        suspected crashes.  Without one, a suspicion is handled locally:
+        a dead child's queue is dropped and a dead parent makes this
+        node the root of its own partition.
+    """
+
+    def __init__(
+        self,
+        parent: Optional[int],
+        children: Sequence[int],
+        *,
+        heartbeat: Optional[tuple] = None,
+        coordinator=None,
+        on_detection=None,
+        on_subtree_solution=None,
+    ) -> None:
+        self.parent_id = parent
+        self._init_children = list(children)
+        self._heartbeat_cfg = heartbeat
+        self.coordinator = coordinator
+        self.on_detection = on_detection  # callback(DetectionRecord), root-level
+        self.on_subtree_solution = on_subtree_solution  # callback(pid, Emission)
+        self.monitor = None
+        self.detections: List[DetectionRecord] = []
+        self.process: Optional[MonitoredProcess] = None
+        self.core: Optional[HierarchicalNodeCore] = None
+        self._buffers: Dict[int, ReorderBuffer] = {}
+        self._out_seq = 0
+        self._pending: List[Interval] = []  # aggregates emitted while orphaned
+
+    # ------------------------------------------------------------------
+    # DetectorRole interface
+    # ------------------------------------------------------------------
+    def bind(self, process: MonitoredProcess) -> None:
+        self.process = process
+        self.core = HierarchicalNodeCore(
+            process.pid, self._init_children, is_root=self.parent_id is None
+        )
+        self._buffers = {c: ReorderBuffer() for c in self._init_children}
+        if self._heartbeat_cfg is not None:
+            from ..fault.heartbeat import HeartbeatMonitor
+
+            period, timeout = self._heartbeat_cfg
+            self.monitor = HeartbeatMonitor(
+                process.sim,
+                process.pid,
+                send=process.send_control,
+                on_suspect=self._suspect,
+                period=period,
+                timeout=timeout,
+            )
+            for peer in self._init_children:
+                self.monitor.add_peer(peer)
+            if self.parent_id is not None:
+                self.monitor.add_peer(self.parent_id)
+
+    def on_start(self) -> None:
+        if self.monitor is not None:
+            self.monitor.start()
+
+    def on_crash(self) -> None:
+        """Host process crashed: a dead node must not keep suspecting
+        the peers that (correctly) stopped talking to it."""
+        if self.monitor is not None:
+            self.monitor.stop()
+
+    def on_local_interval(self, interval: Interval) -> None:
+        self._handle(self.core.offer_local(interval))
+
+    def on_control_message(self, src: int, message: object) -> None:
+        if isinstance(message, IntervalReport):
+            buffer = self._buffers.get(src)
+            if buffer is None:
+                return  # stale report from a node no longer our child
+            for interval in buffer.push(message.transport_seq, message.interval):
+                self._handle(self.core.offer_child(src, interval))
+        elif isinstance(message, Heartbeat):
+            if self.monitor is not None:
+                self.monitor.beat_from(message.sender)
+
+    # ------------------------------------------------------------------
+    # emission handling
+    # ------------------------------------------------------------------
+    def _handle(self, emissions: List[Emission]) -> None:
+        for emission in emissions:
+            if self.on_subtree_solution is not None:
+                self.on_subtree_solution(self.process.pid, emission)
+            if self.core.is_root:
+                self._record_detection(emission.solution, emission.aggregate)
+            else:
+                self._report(emission.aggregate)
+
+    def _record_detection(self, solution: Solution, aggregate: Interval) -> None:
+        record = DetectionRecord(
+            time=self.process.sim.now,
+            detector=self.process.pid,
+            solution=solution,
+            aggregate=aggregate,
+        )
+        self.detections.append(record)
+        self.process.sim.emit(
+            "detection",
+            node=self.process.pid,
+            members=len(record.members),
+            index=record.solution.index,
+        )
+        if self.on_detection is not None:
+            self.on_detection(record)
+
+    def _report(self, aggregate: Interval) -> None:
+        if self.parent_id is None:
+            # Orphaned mid-repair: hold reports for the next parent.
+            self._pending.append(aggregate)
+            return
+        message = IntervalReport(
+            origin=self.process.pid,
+            dest=self.parent_id,
+            interval=aggregate,
+            transport_seq=self._out_seq,
+        )
+        self._out_seq += 1
+        self.process.send_control(self.parent_id, message)
+
+    # ------------------------------------------------------------------
+    # failure handling & rewiring (RepairableRole interface)
+    # ------------------------------------------------------------------
+    def _suspect(self, peer: int) -> None:
+        if self.coordinator is not None:
+            self.coordinator.report_failure(peer, reporter=self.process.pid)
+            return
+        # Standalone handling: degrade to partition-local monitoring.
+        if peer == self.parent_id:
+            self.become_root()
+        elif peer in self._buffers:
+            self.child_failed(peer)
+
+    def _release_peer(self, peer: int) -> None:
+        """Stop watching *peer* — unless it is still a tree neighbour in
+        another capacity.  Re-rooting flips can make yesterday's parent
+        today's child (and vice versa); heartbeat peers track the union
+        of the current parent and children, so a removal must check the
+        relationship that remains, not the one that ended."""
+        if self.monitor is None:
+            return
+        if peer == self.parent_id or peer in self._buffers:
+            return
+        self.monitor.remove_peer(peer)
+
+    def child_failed(self, child: int) -> None:
+        """Drop a dead child's queue; remaining heads may form solutions."""
+        self._buffers.pop(child, None)
+        self._release_peer(child)
+        self._handle(self.core.remove_child(child))
+
+    def drop_child(self, child: int) -> None:
+        """A live child moved elsewhere in the tree (re-rooting)."""
+        self.child_failed(child)
+
+    def gain_child(self, child: int) -> None:
+        self.core.add_child(child)
+        self._buffers[child] = ReorderBuffer()
+        if self.monitor is not None:
+            self.monitor.add_peer(child)
+
+    def set_parent(self, parent: int) -> None:
+        old_parent, self.parent_id = self.parent_id, parent
+        if self.monitor is not None:
+            self.monitor.add_peer(parent)
+        if old_parent is not None:
+            self._release_peer(old_parent)
+        self.core.is_root = False
+        self._out_seq = 0  # new attachment epoch: receiver has a fresh buffer
+        pending, self._pending = self._pending, []
+        for aggregate in pending:
+            self._report(aggregate)
+
+    def become_root(self) -> None:
+        """Promoted (root died) or partitioned: solutions are now
+        detections of the partial predicate over this node's domain."""
+        old_parent, self.parent_id = self.parent_id, None
+        if old_parent is not None:
+            self._release_peer(old_parent)
+        self.core.is_root = True
+        pending, self._pending = self._pending, []
+        for aggregate in pending:
+            # These solutions were detected while orphaned; announce them.
+            matching = [
+                s for s in self.core.solutions if s.index == aggregate.seq
+            ]
+            self._record_detection(matching[0], aggregate)
+
+    def rebirth(self, parent: int) -> None:
+        """Restart after recovery: fresh detector state (queues are soft
+        state), rejoining as a leaf under *parent*.  Past detections are
+        kept — they were correct when announced."""
+        self.core = HierarchicalNodeCore(self.process.pid, (), is_root=False)
+        self._buffers = {}
+        self._pending = []
+        self._out_seq = 0
+        self.parent_id = parent
+        if self.monitor is not None:
+            for peer in list(self.monitor.peers):
+                self.monitor.remove_peer(peer)
+            self.monitor.add_peer(parent)
+            self.monitor.start()
+
+
+class CentralizedReporterRole:
+    """Baseline per-node role: every local interval goes to the sink,
+    forwarded hop-by-hop along the spanning tree (Eq. 12 accounting)."""
+
+    def __init__(self, route_to_sink: Sequence[int]) -> None:
+        if len(route_to_sink) < 2:
+            raise ValueError("reporter route must reach a distinct sink")
+        self.route = list(route_to_sink)
+        self.process: Optional[MonitoredProcess] = None
+        self._out_seq = 0
+
+    def bind(self, process: MonitoredProcess) -> None:
+        if process.pid != self.route[0]:
+            raise ValueError("route must start at the bound process")
+        self.process = process
+
+    def on_start(self) -> None:
+        pass
+
+    def on_local_interval(self, interval: Interval) -> None:
+        message = IntervalReport(
+            origin=self.process.pid,
+            dest=self.route[-1],
+            interval=interval,
+            transport_seq=self._out_seq,
+        )
+        self._out_seq += 1
+        self.process.send_control_routed(self.route, message)
+
+    def on_control_message(self, src: int, message: object) -> None:
+        pass  # the baseline has no node-level control traffic
+
+
+class CentralizedSinkRole:
+    """Baseline sink: all queues, all space, all time at one process."""
+
+    def __init__(self, process_ids: Sequence[int], *, one_shot: bool = False) -> None:
+        self.process_ids = list(process_ids)
+        self.one_shot = one_shot
+        self.process: Optional[MonitoredProcess] = None
+        self.core = None
+        self.detections: List[DetectionRecord] = []
+        self._buffers: Dict[int, ReorderBuffer] = {}
+
+    def bind(self, process: MonitoredProcess) -> None:
+        self.process = process
+        if self.one_shot:
+            self.core = OneShotDefinitelyCore(process.pid, self.process_ids)
+        else:
+            self.core = CentralizedSinkCore(process.pid, self.process_ids)
+        self._buffers = {
+            pid: ReorderBuffer() for pid in self.process_ids if pid != process.pid
+        }
+
+    def on_start(self) -> None:
+        pass
+
+    def on_local_interval(self, interval: Interval) -> None:
+        self._record(self.core.offer(self.process.pid, interval))
+
+    def on_control_message(self, src: int, message: object) -> None:
+        if not isinstance(message, IntervalReport):
+            return
+        buffer = self._buffers.get(message.origin)
+        if buffer is None:
+            return
+        for interval in buffer.push(message.transport_seq, message.interval):
+            self._record(self.core.offer(message.origin, interval))
+
+    def _record(self, solutions) -> None:
+        for solution in solutions or []:
+            self.detections.append(
+                DetectionRecord(
+                    time=self.process.sim.now,
+                    detector=self.process.pid,
+                    solution=solution,
+                    aggregate=None,
+                )
+            )
+
+
+class PossiblySinkRole:
+    """Sink role for the weak-modality baseline [8]: one-shot
+    ``Possibly(Φ)`` detection over reports routed like the centralized
+    Definitely baseline's."""
+
+    def __init__(self, process_ids: Sequence[int]) -> None:
+        self.process_ids = list(process_ids)
+        self.process: Optional[MonitoredProcess] = None
+        self.core: Optional[PossiblyCore] = None
+        self.detections: List[DetectionRecord] = []
+        self._buffers: Dict[int, ReorderBuffer] = {}
+
+    def bind(self, process: MonitoredProcess) -> None:
+        self.process = process
+        self.core = PossiblyCore(process.pid, self.process_ids)
+        self._buffers = {
+            pid: ReorderBuffer() for pid in self.process_ids if pid != process.pid
+        }
+
+    def on_start(self) -> None:
+        pass
+
+    def on_crash(self) -> None:
+        pass
+
+    def on_local_interval(self, interval: Interval) -> None:
+        self._record(self.core.offer(self.process.pid, interval))
+
+    def on_control_message(self, src: int, message: object) -> None:
+        if not isinstance(message, IntervalReport):
+            return
+        buffer = self._buffers.get(message.origin)
+        if buffer is None:
+            return
+        for interval in buffer.push(message.transport_seq, message.interval):
+            self._record(self.core.offer(message.origin, interval))
+
+    def _record(self, solution) -> None:
+        if solution is None:
+            return
+        self.detections.append(
+            DetectionRecord(
+                time=self.process.sim.now,
+                detector=self.process.pid,
+                solution=solution,
+                aggregate=None,
+            )
+        )
+        self.process.sim.emit(
+            "possibly_detection", node=self.process.pid, members=len(solution.members)
+        )

@@ -1,0 +1,136 @@
+"""Simulation role for the token-based distributed detector.
+
+Unlike the reporting detectors, the token algorithm moves *no interval
+data at all* until the token visits: queues live at their owners and
+the only control traffic is the token itself, routed hop-by-hop along
+the spanning tree between consecutive holders.  This gives the third
+point in the design space the paper's Section I sketches:
+
+=================  =====================  ========================
+algorithm          queue placement        control traffic
+=================  =====================  ========================
+centralized [12]   all at the sink        every interval, multi-hop
+hierarchical       O(d) queues per node   aggregates, one hop
+token (≈[11])      own intervals locally  one token, multi-hop
+=================  =====================  ========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..intervals import Interval, IntervalQueue
+from ..sim.process import MonitoredProcess
+from ..topology.spanning_tree import SpanningTree
+from .base import CoreStats, Solution
+from .token import TokenState
+
+__all__ = ["TokenMessage", "TokenRole"]
+
+
+@dataclass(frozen=True)
+class TokenMessage:
+    state: TokenState
+
+
+class TokenRole:
+    """One process's share of the token algorithm.
+
+    Every role sees only its own interval queue; all shared state rides
+    in the token.  Exactly one role is constructed with
+    ``has_token=True`` (the initiator).
+    """
+
+    def __init__(self, tree: SpanningTree, *, has_token: bool = False) -> None:
+        self.tree = tree
+        self._starts_with_token = has_token
+        self.process: Optional[MonitoredProcess] = None
+        self.queue = IntervalQueue()
+        self.token: Optional[TokenState] = None
+        self.stats = CoreStats()
+        self.detection: Optional[Solution] = None
+        self.detection_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, process: MonitoredProcess) -> None:
+        self.process = process
+        if self._starts_with_token:
+            self.token = TokenState.initial(self.tree.nodes)
+
+    def on_start(self) -> None:
+        if self.token is not None:
+            self._process_token()
+
+    def on_crash(self) -> None:
+        pass  # one-shot baseline: no failure story (the paper's point)
+
+    def on_local_interval(self, interval: Interval) -> None:
+        self.queue.enqueue(interval)
+        self.stats.offers += 1
+        if self.token is not None and self.process.pid in self.token.needs:
+            self._process_token()
+
+    def on_control_message(self, src: int, message: object) -> None:
+        if isinstance(message, TokenMessage):
+            self.token = message.state
+            self._process_token()
+
+    # ------------------------------------------------------------------
+    def _vc_less(self, u, v) -> bool:
+        from ..clocks import vc_less
+
+        self.stats.comparisons += 1
+        return vc_less(u, v)
+
+    def _process_token(self) -> None:
+        token = self.token
+        me = self.process.pid
+        if me in token.needs:
+            if not self.queue:
+                return  # park here until a local interval completes
+            candidate = self.queue.dequeue()
+            token.heads[me] = candidate
+            token.needs.discard(me)
+            self._check_candidate(me)
+            if token.heads[me] is None:
+                self._process_token()  # pruned; try the next local interval
+                return
+        if token.complete:
+            self.detection = Solution(
+                detector=me, index=0, heads=dict(token.heads)
+            )
+            self.detection_time = self.process.sim.now
+            self.stats.detections += 1
+            return
+        self._forward(min(token.needs))
+
+    def _check_candidate(self, fresh: int) -> None:
+        token = self.token
+        x = token.heads[fresh]
+        for other, y in token.heads.items():
+            if other == fresh or y is None:
+                continue
+            if not self._vc_less(x.lo, y.hi):
+                token.heads[other] = None
+                token.needs.add(other)
+                self.stats.pruned_incompatible += 1
+            if not self._vc_less(y.lo, x.hi):
+                token.heads[fresh] = None
+                token.needs.add(fresh)
+                self.stats.pruned_incompatible += 1
+                return
+
+    def _forward(self, dst: int) -> None:
+        token, self.token = self.token, None
+        me = self.process.pid
+        # Route along the tree: up to the common ancestor, then down.
+        up = self.tree.path_to_root(me)
+        down = self.tree.path_to_root(dst)
+        up_set = {node: i for i, node in enumerate(up)}
+        junction = next(node for node in down if node in up_set)
+        route = up[: up_set[junction] + 1] + list(
+            reversed(down[: down.index(junction)])
+        )
+        token.hops += len(route) - 1
+        self.process.send_control_routed(route, TokenMessage(token))

@@ -1,0 +1,159 @@
+"""Distributed one-shot ``Definitely(Φ)`` detection with a token.
+
+The paper's related-work table (Section I) cites Chandra &
+Kshemkalyani [11]: a *distributed* detector whose interval queues live
+at their owners instead of a sink, trading the sink's `O(pn²)` hot spot
+for token circulation.  This module implements a detector in that
+spirit — simplified, but with honest queue placement and message
+accounting (see DESIGN.md's substitution table):
+
+* every process keeps its own completed intervals in a local FIFO —
+  storage is `O(p·n)` vector entries *at the owner*, never centralized;
+* a single token carries the current candidate set (one interval per
+  process, possibly missing) plus the set of processes that owe it a
+  fresh candidate;
+* the token travels to a process that owes a candidate, pops that
+  process's queue head, and runs the pairwise Garg–Waldecker checks
+  *locally* (so comparison work is spread over the visited nodes):
+
+  - ``min(x) ≮ max(y)``  ⟹  ``y`` can never join ``x`` or any of its
+    successors: discard ``y`` and demand a fresh candidate from ``j``;
+  - symmetrically for ``x``;
+
+* when no process owes a candidate, the surviving heads mutually
+  overlap — ``Definitely(Φ)`` detected, one-shot, at whichever process
+  holds the token;
+* a token demanding a candidate from a process with an empty queue
+  *parks* there until a local interval completes.  Parking is safe: the
+  process is only asked for a fresh candidate when every earlier
+  candidate of its was proven useless, so any solution must contain a
+  later interval of that very process.
+
+Like [7]/[8]/[11], this is a one-shot algorithm — the contrast the
+paper draws still stands: none of the distributed prior work detects
+repeatedly, so none of it can sit inside a hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..clocks import vc_less
+from ..intervals import Interval, IntervalQueue
+from .base import CoreStats, Solution
+
+__all__ = ["TokenState", "TokenDefinitelyDetector"]
+
+
+@dataclass
+class TokenState:
+    """The circulating token: candidates + who owes one."""
+
+    heads: Dict[int, Optional[Interval]]
+    needs: Set[int]
+    hops: int = 0  # control messages spent moving the token
+
+    @classmethod
+    def initial(cls, process_ids) -> "TokenState":
+        ids = list(process_ids)
+        return cls(heads={pid: None for pid in ids}, needs=set(ids))
+
+    @property
+    def complete(self) -> bool:
+        return not self.needs
+
+
+class TokenDefinitelyDetector:
+    """Pure (simulation-free) engine for the token algorithm.
+
+    Drives the token over per-owner queues; :meth:`offer` delivers a
+    completed local interval, and the engine moves/parks the token and
+    reports the one-shot detection.  The sim role in
+    :mod:`repro.detect.roles_token` wraps this with real messages.
+    """
+
+    def __init__(self, process_ids, *, start_at: Optional[int] = None) -> None:
+        ids = sorted(process_ids)
+        if not ids:
+            raise ValueError("need at least one process")
+        self.queues: Dict[int, IntervalQueue] = {pid: IntervalQueue() for pid in ids}
+        self.token = TokenState.initial(ids)
+        self.token_at: int = start_at if start_at is not None else ids[0]
+        if self.token_at not in self.queues:
+            raise ValueError(f"start_at {self.token_at} is not a process")
+        self.stats = CoreStats()
+        self.detection: Optional[Solution] = None
+        self.detected_at: Optional[int] = None
+        self.moves: List[int] = [self.token_at]  # visit order, for accounting
+
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        return self.detection is not None
+
+    def _vc_less(self, u, v) -> bool:
+        self.stats.comparisons += 1
+        return vc_less(u, v)
+
+    def offer(self, pid: int, interval: Interval) -> Optional[Solution]:
+        """A local interval completed at *pid* (enqueued at its owner)."""
+        if self.halted:
+            return None
+        self.queues[pid].enqueue(interval)
+        self.stats.offers += 1
+        # Wake the token if it is parked here waiting for exactly this.
+        if self.token_at == pid and pid in self.token.needs:
+            return self._drive()
+        return None
+
+    def start(self) -> Optional[Solution]:
+        """Begin circulation (call once all roles are wired)."""
+        return self._drive()
+
+    # ------------------------------------------------------------------
+    def _drive(self) -> Optional[Solution]:
+        """Process the token at its current holder, moving it until it
+        parks (owner's queue empty) or detection fires."""
+        token = self.token
+        while True:
+            here = self.token_at
+            if here in token.needs:
+                queue = self.queues[here]
+                if not queue:
+                    return None  # park: wait for a local interval
+                candidate = queue.dequeue()
+                token.heads[here] = candidate
+                token.needs.discard(here)
+                self._check_against_others(here)
+                if token.heads[here] is None:
+                    continue  # pruned immediately; try the next local interval
+            if token.complete:
+                heads = {pid: iv for pid, iv in token.heads.items()}
+                self.detection = Solution(detector=here, index=0, heads=heads)
+                self.detected_at = here
+                self.stats.detections += 1
+                return self.detection
+            # Move to the nearest (smallest-id) process owing a candidate.
+            nxt = min(token.needs)
+            token.hops += 1
+            self.token_at = nxt
+            self.moves.append(nxt)
+
+    def _check_against_others(self, fresh: int) -> None:
+        """Pairwise Garg–Waldecker pruning of the fresh candidate
+        against every other present candidate (runs at the holder)."""
+        token = self.token
+        x = token.heads[fresh]
+        for other, y in token.heads.items():
+            if other == fresh or y is None:
+                continue
+            if not self._vc_less(x.lo, y.hi):
+                token.heads[other] = None
+                token.needs.add(other)
+                self.stats.pruned_incompatible += 1
+            if not self._vc_less(y.lo, x.hi):
+                token.heads[fresh] = None
+                token.needs.add(fresh)
+                self.stats.pruned_incompatible += 1
+                return  # the fresh candidate is gone; stop comparing it

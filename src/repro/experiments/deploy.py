@@ -1,0 +1,96 @@
+"""Zero-assumption deployment runner.
+
+Combines the in-band substrates into one call: build the spanning tree
+with the distributed flooding protocol, then run hierarchical detection
+with self-healing (message-driven repair) roles over the same network —
+no pre-constructed tree, no repair oracle.  This is the configuration a
+real deployment of the paper's system would run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..analysis.metrics import collect_hierarchical
+from ..fault.discovery import SelfHealingRole
+from ..fault.injector import FailureInjector
+from ..sim.kernel import Simulator
+from ..sim.network import Network, uniform_delay
+from ..sim.trace import ExecutionTrace
+from ..topology.protocol import TreeBuilder
+from ..workload.generator import EpochConfig, EpochProcess, EpochWorkload
+from .harness import DELAY_HIGH, DELAY_LOW, RunResult
+
+__all__ = ["run_zero_assumptions"]
+
+
+def run_zero_assumptions(
+    graph: nx.Graph,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    config: Optional[EpochConfig] = None,
+    failures: Sequence[Tuple[float, int]] = (),
+    heartbeat: tuple = (5.0, 16.0),
+    extra_time: float = 0.0,
+) -> RunResult:
+    """Build the tree in-band, then monitor with self-healing roles.
+
+    ``failures`` times are relative to the start of the *workload*
+    phase (which begins a few time units after the build completes).
+    """
+    config = config or EpochConfig()
+    sim = Simulator(seed=seed)
+    network = Network(sim, graph, uniform_delay(DELAY_LOW, DELAY_HIGH))
+
+    builder = TreeBuilder(sim, network, graph, root=root)
+    builder.start()
+    sim.run()
+    tree = builder.tree
+    if tree is None:  # pragma: no cover - connected graphs always build
+        raise RuntimeError("tree construction did not complete")
+
+    trace = ExecutionTrace(tree.n)
+    collect_window = 4.0 * tree.height * DELAY_HIGH
+    roles: Dict[int, SelfHealingRole] = {
+        pid: SelfHealingRole(
+            tree.parent_of(pid),
+            tree.children(pid),
+            heartbeat=heartbeat,
+            collect_window=collect_window,
+        )
+        for pid in tree.nodes
+    }
+    processes = {
+        pid: EpochProcess(pid, sim, network, trace, roles[pid], tree)
+        for pid in tree.nodes
+    }
+    start = sim.now + 5.0
+    workload = EpochWorkload(
+        sim, processes, tree, config, max_delay=DELAY_HIGH, start_time=start
+    )
+    workload.install()
+    injector = FailureInjector(sim, processes)
+    for time, pid in failures:
+        injector.crash_at(start + time, pid)
+    for process in processes.values():
+        process.start()
+    sim.run(until=workload.end_time + extra_time)
+
+    detections = sorted(
+        (d for role in roles.values() for d in role.detections),
+        key=lambda d: d.time,
+    )
+    return RunResult(
+        metrics=collect_hierarchical(network, tree, roles),
+        detections=detections,
+        trace=trace,
+        tree=tree,
+        sim=sim,
+        network=network,
+        roles=roles,
+        workload=workload,
+        crashed=list(injector.crashed),
+    )

@@ -1,0 +1,84 @@
+"""Experiment: empirical validation of the Table I space/time bounds.
+
+Table I claims the hierarchical algorithm does `O(d²pn²)` comparison
+work spread over all nodes against the centralized `O(pn³)` at the
+sink, and that both store `O(pn²)` (vector entries) with opposite
+placement.  Those are worst-case bounds — the workload decides the
+constants — but the *relative* scaling is measurable: sweeping `n` at
+fixed degree and intervals-per-process, the per-node work and space of
+the centralized sink must grow strictly faster than the busiest
+hierarchical node's.
+
+:func:`scaling_sweep` runs both algorithms over the same workloads for
+a range of heights and reports, per size: total and max-per-node
+comparisons, max-per-node peak queue space (in vector entries), and the
+log-log growth slopes between consecutive sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..topology.spanning_tree import SpanningTree
+from ..workload.generator import EpochConfig
+from .harness import run_centralized, run_hierarchical
+
+__all__ = ["ScalingPoint", "scaling_sweep", "growth_slopes"]
+
+
+@dataclass
+class ScalingPoint:
+    d: int
+    h: int
+    n: int
+    hier_cmp_total: int
+    hier_cmp_max_node: int
+    cent_cmp_max_node: int
+    hier_space_max_node: int  # peak queued intervals × 2n vector entries
+    cent_space_max_node: int
+    detections: int
+
+
+def scaling_sweep(
+    *,
+    d: int = 2,
+    heights: Sequence[int] = (3, 4, 5),
+    p: int = 10,
+    sync_prob: float = 0.7,
+    seed: int = 13,
+) -> List[ScalingPoint]:
+    points: List[ScalingPoint] = []
+    for h in heights:
+        config = EpochConfig(epochs=p, sync_prob=sync_prob)
+        hier = run_hierarchical(SpanningTree.regular(d, h), seed=seed, config=config)
+        cent = run_centralized(SpanningTree.regular(d, h), seed=seed, config=config)
+        n = hier.tree.n
+        points.append(
+            ScalingPoint(
+                d=d,
+                h=h,
+                n=n,
+                hier_cmp_total=hier.metrics.total_comparisons,
+                hier_cmp_max_node=hier.metrics.max_comparisons_per_node,
+                cent_cmp_max_node=cent.metrics.max_comparisons_per_node,
+                hier_space_max_node=hier.metrics.max_queue_per_node * 2 * n,
+                cent_space_max_node=cent.metrics.max_queue_per_node * 2 * n,
+                detections=hier.metrics.root_detections,
+            )
+        )
+    return points
+
+
+def growth_slopes(points: List[ScalingPoint], attr: str) -> List[float]:
+    """Log-log slope of *attr* vs ``n`` between consecutive sweep points
+    (an empirical local growth exponent)."""
+    slopes = []
+    for a, b in zip(points, points[1:]):
+        ya, yb = getattr(a, attr), getattr(b, attr)
+        if ya <= 0 or yb <= 0:
+            slopes.append(float("nan"))
+        else:
+            slopes.append(math.log(yb / ya) / math.log(b.n / a.n))
+    return slopes

@@ -1,0 +1,118 @@
+"""Tree-repair coordination after a detected crash.
+
+The paper specifies *what* repair achieves — each orphaned subtree
+"reconnect[s] itself … by establishing a link between a node in the
+subtree and its neighbor which is still in the spanning tree" — but not
+the discovery protocol.  This module provides that glue as an idealized
+coordinator (see DESIGN.md substitutions): when any role reports a
+suspected crash, the coordinator computes the deterministic repair plan
+(:func:`repro.topology.repair.apply_repair`) once, waits a configurable
+repair latency standing in for the neighbour-discovery handshake, and
+then drives the affected detector roles through their local rewiring
+steps:
+
+* the surviving parent drops the dead child's queue (which can unblock
+  detections immediately),
+* a promoted node becomes the new root (its future solutions are global
+  detections, not reports),
+* re-rooted edges flip parent/child queues,
+* each reattached subtree root starts reporting to its adopter, which
+  opens a fresh queue and reorder buffer,
+* unreachable subtrees become independent detection domains — partial
+  predicates keep being monitored, the paper's headline property.
+
+The detection-layer consequences (who keeps which queue, where reports
+flow, what is lost) are exactly the paper's; only neighbour discovery
+is abstracted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Set
+
+import networkx as nx
+
+from ..sim.kernel import Simulator
+from ..topology.repair import RepairPlan, apply_repair
+from ..topology.spanning_tree import SpanningTree
+
+__all__ = ["RepairableRole", "RepairCoordinator"]
+
+
+class RepairableRole(Protocol):
+    """The rewiring interface detector roles expose to the coordinator."""
+
+    def child_failed(self, child: int) -> None: ...
+
+    def become_root(self) -> None: ...
+
+    def set_parent(self, parent: int) -> None: ...
+
+    def gain_child(self, child: int) -> None: ...
+
+    def drop_child(self, child: int) -> None: ...
+
+
+class RepairCoordinator:
+    """Computes and applies one repair plan per failed node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: SpanningTree,
+        graph: nx.Graph,
+        roles: Dict[int, RepairableRole],
+        *,
+        repair_latency: float = 2.0,
+        is_alive=None,
+    ) -> None:
+        self.sim = sim
+        self.tree = tree
+        self.graph = graph
+        self.roles = roles
+        self.repair_latency = repair_latency
+        self._is_alive = is_alive or (lambda pid: True)
+        self._handled: Set[int] = set()
+        self.plans: Dict[int, RepairPlan] = {}
+
+    def report_failure(self, failed: int, reporter: int) -> None:
+        """A role suspects *failed*; idempotent across reporters."""
+        if failed in self._handled:
+            return
+        if self._is_alive(failed):
+            raise RuntimeError(
+                f"P{reporter} falsely suspected live P{failed}: heartbeat "
+                f"timeout too small for the network's delay bound"
+            )
+        self._handled.add(failed)
+        plan = apply_repair(self.tree, self.graph, failed)
+        self.plans[failed] = plan
+        self.sim.emit("repair_planned", node=reporter, failed=failed)
+        self.sim.schedule(self.repair_latency, lambda: self._apply(plan))
+
+    # ------------------------------------------------------------------
+    def _apply(self, plan: RepairPlan) -> None:
+        roles = self.roles
+        if plan.old_parent is not None and self._is_alive(plan.old_parent):
+            roles[plan.old_parent].child_failed(plan.failed)
+        if plan.new_root is not None:
+            roles[plan.new_root].become_root()
+        for att in plan.attachments:
+            # Flip re-rooted edges first: each (par, child) edge reverses.
+            for par, child in att.flipped_edges:
+                roles[par].drop_child(child)
+                roles[child].gain_child(par)
+                roles[par].set_parent(child)
+            roles[att.new_parent].gain_child(att.subtree_root)
+            roles[att.subtree_root].set_parent(att.new_parent)
+            self.sim.emit(
+                "reattached",
+                node=att.subtree_root,
+                new_parent=att.new_parent,
+                rerooted=bool(att.flipped_edges),
+            )
+        for orphan in plan.partitioned:
+            roles[orphan].become_root()
+            self.sim.emit("partitioned", node=orphan)
+        if plan.new_root is not None:
+            self.sim.emit("root_promoted", node=plan.new_root, failed=plan.failed)

@@ -1,0 +1,298 @@
+"""Fully message-driven tree repair (non-root failures).
+
+The default repair path uses an idealized coordinator (see
+:mod:`repro.fault.coordinator`).  This module removes that substitution
+for the common case — a *non-root* crash, one failure at a time — by
+implementing the paper's Section III-F sentence as an actual protocol
+over the simulated network:
+
+    "[each subtree will] reconnect itself to the system-wide spanning
+    tree by establishing a link between a node in the subtree and its
+    neighbor which is still in the spanning tree."
+
+Protocol, run by the orphaned subtree's root ``O`` after its heartbeat
+monitor declares the parent dead:
+
+1. **Probe.**  ``O`` floods ``Probe`` down its subtree (tree edges).
+   Every member marks itself orphaned and acks up with ``ProbeAck``;
+   every node the ack passes through records which child it came via,
+   giving each hop a routing table toward every member below it.
+2. **Query.**  Each member asks its *graph* neighbours ``StatusQuery``;
+   neighbours answer ``StatusReply(in_tree, depth)`` from local state —
+   a node is ``in_tree`` unless it is itself marked orphaned.
+3. **Candidates.**  Members forward positive replies up to ``O`` as
+   ``CandidateReport(member, neighbour, depth)``.
+4. **Decision.**  After a collection window (covering a subtree
+   round-trip), ``O`` discards candidates whose neighbour is actually a
+   subtree member (it may have answered before its own Probe arrived),
+   then picks the lowest ``(depth, neighbour, member)`` survivor.
+5. **Re-root & attach.**  ``O`` sends ``RerootCmd(target, new_parent)``
+   toward the chosen member along the recorded routes; every hop flips
+   its edge (fresh queues both sides, the coordinator's exact flip
+   semantics) and forwards.  The target sends ``AttachRequest2`` to the
+   chosen neighbour, which opens a queue and answers
+   ``AttachAccept2(depth)``; the target adopts it and floods
+   ``Cleared`` over the re-rooted subtree.  Reports stay buffered while
+   a node is marked orphaned (non-FIFO channels could otherwise race a
+   report past the adopter's queue creation) and flush on ``Cleared``.
+6. **No candidates** ⇒ partition: ``O`` promotes itself to partition
+   root and keeps monitoring its partial predicate.
+
+The dead node's old *parent* needs no protocol: its own heartbeat
+suspicion drops the child queue locally.  Root failures and overlapping
+concurrent repairs still use the coordinator (distributed leader
+election is beyond the paper's scope); tests pin the supported cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..detect.roles import HierarchicalRole
+
+__all__ = [
+    "Probe",
+    "ProbeAck",
+    "StatusQuery",
+    "StatusReply",
+    "CandidateReport",
+    "RerootCmd",
+    "AttachRequest2",
+    "AttachAccept2",
+    "Cleared",
+    "SelfHealingRole",
+]
+
+
+@dataclass(frozen=True)
+class Probe:
+    token: int
+    orphan_root: int
+
+
+@dataclass(frozen=True)
+class ProbeAck:
+    token: int
+    member: int
+
+
+@dataclass(frozen=True)
+class StatusQuery:
+    token: int
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    token: int
+    in_tree: bool
+    depth: int
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    token: int
+    member: int
+    neighbour: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class RerootCmd:
+    token: int
+    target: int
+    new_parent: int
+
+
+@dataclass(frozen=True)
+class AttachRequest2:
+    token: int
+    child: int
+
+
+@dataclass(frozen=True)
+class AttachAccept2:
+    token: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class Cleared:
+    token: int
+
+
+class SelfHealingRole(HierarchicalRole):
+    """HierarchicalRole whose parent-loss handling is message-driven.
+
+    Child-loss handling is inherited (the queue is dropped locally on
+    suspicion).  ``collect_window`` must cover a subtree round-trip
+    (≈ ``4 × height × max_delay``).
+    """
+
+    def __init__(self, parent, children, *, heartbeat, collect_window: float = 20.0):
+        super().__init__(parent, children, heartbeat=heartbeat, coordinator=None)
+        self.collect_window = collect_window
+        self.orphaned = False
+        self.depth_estimate = 0
+        self._repair_token: Optional[int] = None
+        self._acked: Set[int] = set()
+        self._candidates: List[CandidateReport] = []
+        self._routes: Dict[int, int] = {}  # subtree member -> child hop
+
+    # ------------------------------------------------------------------
+    # reporting: hold aggregates while repair is in flight
+    # ------------------------------------------------------------------
+    def _report(self, aggregate) -> None:
+        if self.orphaned:
+            self._pending.append(aggregate)
+            return
+        super()._report(aggregate)
+
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        for aggregate in pending:
+            self._report(aggregate)
+
+    # ------------------------------------------------------------------
+    # suspicion: parent death triggers the discovery protocol
+    # ------------------------------------------------------------------
+    def _suspect(self, peer: int) -> None:
+        if self.monitor is not None:
+            self.monitor.remove_peer(peer)
+        if peer == self.parent_id:
+            self._start_repair()
+        elif peer in self._buffers:
+            self.child_failed(peer)
+
+    def _start_repair(self) -> None:
+        me = self.process.pid
+        self.parent_id = None
+        self.orphaned = True
+        self._repair_token = token = self.process.sim.events_executed
+        self._acked = {me}
+        self._candidates = []
+        self._routes = {}
+        self.process.sim.emit("repair_probe", node=me)
+        self._flood_children(Probe(token, me))
+        self._query_neighbours(token)
+        self.process.sim.schedule(self.collect_window, lambda: self._decide(token))
+
+    def _flood_children(self, message) -> None:
+        for child in self.core.children:
+            self.process.send_control(child, message)
+
+    def _query_neighbours(self, token: int) -> None:
+        me = self.process.pid
+        for nb in sorted(self.process.network.graph.neighbors(me)):
+            if self.process.network.is_alive(nb):
+                self.process.send_control(nb, StatusQuery(token))
+
+    # ------------------------------------------------------------------
+    def on_control_message(self, src: int, message: object) -> None:
+        if isinstance(message, Probe):
+            self.orphaned = True
+            self._repair_token = message.token
+            self._routes = {}
+            self._flood_children(message)
+            if self.parent_id is not None:
+                self.process.send_control(
+                    self.parent_id, ProbeAck(message.token, self.process.pid)
+                )
+            self._query_neighbours(message.token)
+        elif isinstance(message, ProbeAck):
+            self._routes[message.member] = src
+            if self._is_orphan_root():
+                self._acked.add(message.member)
+            elif self.parent_id is not None:
+                self.process.send_control(self.parent_id, message)
+        elif isinstance(message, StatusQuery):
+            self.process.send_control(
+                src,
+                StatusReply(
+                    message.token,
+                    in_tree=not self.orphaned,
+                    depth=self.depth_estimate,
+                ),
+            )
+        elif isinstance(message, StatusReply):
+            if message.in_tree and self.orphaned:
+                self._collect_or_forward(
+                    CandidateReport(
+                        message.token, self.process.pid, src, message.depth
+                    )
+                )
+        elif isinstance(message, CandidateReport):
+            self._collect_or_forward(message)
+        elif isinstance(message, RerootCmd):
+            self._apply_reroot(src, message)
+        elif isinstance(message, AttachRequest2):
+            self.gain_child(message.child)
+            self.process.send_control(
+                message.child, AttachAccept2(message.token, self.depth_estimate)
+            )
+        elif isinstance(message, AttachAccept2):
+            self.depth_estimate = message.depth + 1
+            self.set_parent(src)
+            self.orphaned = False
+            self.process.sim.emit(
+                "repair_attached", node=self.process.pid, parent=src
+            )
+            self._flush_pending()
+            self._flood_children(Cleared(message.token))
+        elif isinstance(message, Cleared):
+            self.orphaned = False
+            self._flush_pending()
+            self._flood_children(message)
+        else:
+            super().on_control_message(src, message)
+
+    def _collect_or_forward(self, report: CandidateReport) -> None:
+        if self._is_orphan_root():
+            self._candidates.append(report)
+        elif self.parent_id is not None:
+            self.process.send_control(self.parent_id, report)
+
+    def _is_orphan_root(self) -> bool:
+        return self.orphaned and self.parent_id is None
+
+    # ------------------------------------------------------------------
+    def _decide(self, token: int) -> None:
+        if not self._is_orphan_root() or self._repair_token != token:
+            return  # already repaired or superseded by a newer probe
+        viable = [c for c in self._candidates if c.neighbour not in self._acked]
+        if not viable:
+            self.process.sim.emit("repair_partitioned", node=self.process.pid)
+            self.become_root()
+            self.orphaned = False
+            self._flush_pending()
+            self._flood_children(Cleared(token))
+            return
+        best = min(viable, key=lambda c: (c.depth, c.neighbour, c.member))
+        me = self.process.pid
+        if best.member == me:
+            self.process.send_control(best.neighbour, AttachRequest2(token, me))
+            return
+        nxt = self._routes[best.member]
+        self._flip_toward(nxt)
+        self.process.send_control(nxt, RerootCmd(token, best.member, best.neighbour))
+
+    def _flip_toward(self, child: int) -> None:
+        """Reverse the edge to *child*: it becomes our parent-to-be.
+        parent_id is set but reports keep buffering (orphaned holds)."""
+        self.drop_child(child)
+        self.set_parent(child)
+
+    def _apply_reroot(self, src: int, command: RerootCmd) -> None:
+        me = self.process.pid
+        self.orphaned = True
+        self._repair_token = command.token
+        self.gain_child(src)  # the upstream hop is now our child
+        if me == command.target:
+            self.parent_id = None
+            self.process.send_control(
+                command.new_parent, AttachRequest2(command.token, me)
+            )
+            return
+        nxt = self._routes[command.target]
+        self._flip_toward(nxt)
+        self.process.send_control(nxt, command)

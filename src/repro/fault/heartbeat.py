@@ -1,0 +1,102 @@
+"""Heartbeat-based crash detection (Section III-F).
+
+"Each process in the spanning tree sends heartbeat messages to its
+parent and children.  So, when a process ``P_i`` fails, both its parent
+and children will stop receiving heartbeat messages from ``P_i`` and
+know about ``P_i``'s failure."
+
+:class:`HeartbeatMonitor` implements exactly that: a periodic tick
+sends a :class:`~repro.sim.messages.Heartbeat` to every watched peer
+and declares any peer not heard from within *timeout* suspected.  The
+peer set tracks the node's current tree neighbours and is updated by
+the repair machinery as the tree is rewired.
+
+The timeout must exceed ``period + max one-hop delay`` or live peers
+get falsely suspected; the defaults leave a generous margin.  (With
+crash-stop failures and reliable channels a suspicion is always
+accurate once that bound holds.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from ..sim.kernel import Simulator
+from ..sim.messages import Heartbeat
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Liveness tracking of a node's tree neighbours."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: int,
+        send: Callable[[int, object], None],
+        on_suspect: Callable[[int], None],
+        *,
+        period: float = 5.0,
+        timeout: float = 16.0,
+    ) -> None:
+        if timeout <= period:
+            raise ValueError("timeout must exceed the heartbeat period")
+        self.sim = sim
+        self.owner = owner
+        self._send = send
+        self._on_suspect = on_suspect
+        self.period = period
+        self.timeout = timeout
+        self._last_seen: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def peers(self) -> Set[int]:
+        return set(self._last_seen)
+
+    def add_peer(self, peer: int) -> None:
+        """Start exchanging heartbeats with *peer* (grace starts now)."""
+        self._last_seen.setdefault(peer, self.sim.now)
+        self._suspected.discard(peer)
+
+    def remove_peer(self, peer: int) -> None:
+        self._last_seen.pop(peer, None)
+        self._suspected.discard(peer)
+
+    def beat_from(self, peer: int) -> None:
+        if peer in self._last_seen:
+            self._last_seen[peer] = self.sim.now
+
+    def is_suspected(self, peer: int) -> bool:
+        return peer in self._suspected
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        # Desynchronize ticks across nodes deterministically.
+        offset = float(self.sim.rng("heartbeat").uniform(0, self.period))
+        self.sim.schedule(offset, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        beat = Heartbeat(sender=self.owner)
+        for peer in list(self._last_seen):
+            self._send(peer, beat)
+        deadline = self.sim.now - self.timeout
+        for peer, last in list(self._last_seen.items()):
+            if last < deadline and peer not in self._suspected:
+                self._suspected.add(peer)
+                self.sim.emit(
+                    "suspect", node=self.owner, peer=peer, last_seen=round(last, 3)
+                )
+                self._on_suspect(peer)
+        self.sim.schedule(self.period, self._tick)

@@ -1,0 +1,51 @@
+"""Crash-stop failure injection.
+
+Failures are scheduled on the simulation clock; a crashed process stops
+executing application events, its detector stops, and the network drops
+every message to, from, or routed through it (Section III-F's model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sim.kernel import Simulator
+from ..sim.process import MonitoredProcess
+
+__all__ = ["FailureInjector"]
+
+
+@dataclass
+class FailureInjector:
+    """Schedules and records crashes."""
+
+    sim: Simulator
+    processes: Dict[int, MonitoredProcess]
+    crashed: List[tuple] = field(default_factory=list)  # (time, pid)
+
+    def crash_at(self, time: float, pid: int) -> None:
+        """Crash *pid* at absolute simulation time *time*."""
+        if pid not in self.processes:
+            raise KeyError(f"unknown process {pid}")
+        self.sim.schedule_at(time, lambda: self._crash(pid))
+
+    def crash_random(self, time: float, *, exclude: tuple = ()) -> int:
+        """Crash a uniformly chosen process at *time*; returns the pid."""
+        candidates = sorted(
+            pid
+            for pid, proc in self.processes.items()
+            if proc.alive and pid not in exclude
+        )
+        if not candidates:
+            raise RuntimeError("no live process to crash")
+        pid = int(self.sim.rng("failures").choice(candidates))
+        self.crash_at(time, pid)
+        return pid
+
+    def _crash(self, pid: int) -> None:
+        proc = self.processes[pid]
+        if proc.alive:
+            proc.crash()
+            self.crashed.append((self.sim.now, pid))
+            self.sim.emit("crash", node=pid)

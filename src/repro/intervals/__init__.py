@@ -1,0 +1,19 @@
+"""Intervals, the overlap conditions, aggregation ``⊓`` and queues."""
+
+from .aggregation import aggregate, can_aggregate
+from .interval import Interval
+from .overlap import overlap, overlap_pair, pairwise_matrix, possibly, possibly_pair
+from .queues import IntervalQueue, ReorderBuffer
+
+__all__ = [
+    "Interval",
+    "IntervalQueue",
+    "ReorderBuffer",
+    "aggregate",
+    "can_aggregate",
+    "overlap",
+    "overlap_pair",
+    "pairwise_matrix",
+    "possibly",
+    "possibly_pair",
+]

@@ -1,0 +1,72 @@
+"""Interval aggregation — the ``⊓`` operator of Section III-C.
+
+For a set ``X`` of intervals with ``overlap(X)`` true, the aggregated
+interval ``⊓(X)`` is defined component-wise (Eq. 5–6):
+
+* ``min(⊓(X))[i] = max_{x ∈ X} (min(x)[i])``
+* ``max(⊓(X))[i] = min_{x ∈ X} (max(x)[i])``
+
+Theorem 1 / Lemma 1 justify substituting ``⊓(X)`` for the whole set when
+detecting ``Definitely(Φ)`` in a larger union, and Eq. (7) shows the
+operator is associative over unions: ``⊓(⊓(X), ⊓(Y)) = ⊓(X ∪ Y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..clocks import join, meet
+from .interval import Interval
+from .overlap import overlap
+
+__all__ = ["aggregate", "can_aggregate"]
+
+
+def can_aggregate(intervals: Iterable[Interval]) -> bool:
+    """True when ``⊓`` may be applied, i.e. ``overlap(X)`` holds."""
+    return overlap(intervals)
+
+def aggregate(
+    intervals: Sequence[Interval],
+    owner: int,
+    seq: int,
+    *,
+    check: bool = False,
+) -> Interval:
+    """Aggregate a solution set into a single interval per Eq. (5)–(6).
+
+    Parameters
+    ----------
+    intervals:
+        The solution set ``X`` (must be non-empty).  The caller — a
+        detection core — guarantees ``overlap(X)``; pass ``check=True``
+        to re-verify (used by tests and the offline tools).
+    owner:
+        The node generating the aggregation (root of the subtree where
+        the solution was detected).
+    seq:
+        Per-owner sequence number; successive aggregations by the same
+        node must use increasing values (Theorem 2 relies on this order).
+    check:
+        Re-verify ``overlap(X)`` before aggregating.
+
+    Aggregating a singleton returns an interval with the same bounds —
+    which is why leaf nodes can run the same code path as interior
+    nodes: a leaf's every local interval is a solution for its
+    singleton subtree and is forwarded essentially unchanged.
+    """
+    if not intervals:
+        raise ValueError("cannot aggregate an empty set of intervals")
+    if check and not overlap(intervals):
+        raise ValueError("aggregation requires overlap(X) to hold")
+    lo = join(*(x.lo for x in intervals))
+    hi = meet(*(x.hi for x in intervals))
+    members = frozenset().union(*(x.members for x in intervals))
+    return Interval(
+        owner=owner,
+        seq=seq,
+        lo=lo,
+        hi=hi,
+        members=members,
+        parts=tuple(intervals),
+    )

@@ -1,0 +1,77 @@
+"""The overlap conditions for Possibly(Φ) and Definitely(Φ).
+
+From Section II-B of the paper (conditions (1) and (2), due to
+Garg–Waldecker and Kshemkalyani):
+
+* ``Possibly(Φ)``  holds in a set ``X`` iff
+  ``∀ x_i, x_j ∈ X (i≠j): max(x_i) ≮ min(x_j)``
+* ``Definitely(Φ)`` holds in a set ``X`` iff
+  ``∀ x_i, x_j ∈ X (i≠j): min(x_i) < max(x_j)``
+
+The ``Definitely`` condition is the ``overlap(X)`` property of
+Section III-C.  Both are tested pairwise over distinct intervals.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..clocks import vc_less, vc_not_less
+from .interval import Interval
+
+__all__ = [
+    "overlap_pair",
+    "overlap",
+    "possibly_pair",
+    "possibly",
+    "pairwise_matrix",
+]
+
+
+def overlap_pair(x: Interval, y: Interval) -> bool:
+    """``overlap({x, y})``: ``min(x) < max(y)`` and ``min(y) < max(x)``."""
+    return vc_less(x.lo, y.hi) and vc_less(y.lo, x.hi)
+
+
+def overlap(intervals: Iterable[Interval]) -> bool:
+    """``overlap(X)`` over an arbitrary set — the Definitely(Φ) condition.
+
+    Vacuously true for the empty set and singletons (a single process's
+    local predicate holding is a solution for its singleton subtree).
+    """
+    items = list(intervals)
+    return all(overlap_pair(x, y) for x, y in combinations(items, 2))
+
+
+def possibly_pair(x: Interval, y: Interval) -> bool:
+    """The pairwise Possibly(Φ) condition: ``max(x) ≮ min(y)`` and
+    ``max(y) ≮ min(x)`` (neither interval wholly precedes the other)."""
+    return vc_not_less(x.hi, y.lo) and vc_not_less(y.hi, x.lo)
+
+
+def possibly(intervals: Iterable[Interval]) -> bool:
+    """The Possibly(Φ) condition (Eq. 1) over a set of intervals."""
+    items = list(intervals)
+    return all(possibly_pair(x, y) for x, y in combinations(items, 2))
+
+
+def pairwise_matrix(intervals: Sequence[Interval]) -> np.ndarray:
+    """Vectorized all-pairs ``min(x_i) < max(x_j)`` truth table.
+
+    Returns a boolean ``(k, k)`` matrix ``M`` with
+    ``M[i, j] == vc_less(x_i.lo, x_j.hi)``.  Used by the offline
+    brute-force checker, where evaluating many candidate sets pair by
+    pair in Python would dominate the runtime.
+    """
+    k = len(intervals)
+    if k == 0:
+        return np.zeros((0, 0), dtype=bool)
+    los = np.stack([x.lo for x in intervals])  # (k, n)
+    his = np.stack([x.hi for x in intervals])  # (k, n)
+    # le[i, j] = all(los[i] <= his[j]); strict[i, j] = any(los[i] < his[j])
+    le = np.all(los[:, None, :] <= his[None, :, :], axis=2)
+    strict = np.any(los[:, None, :] < his[None, :, :], axis=2)
+    return le & strict

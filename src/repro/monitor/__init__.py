@@ -1,0 +1,12 @@
+"""User-facing monitoring façade: predicates over local variables,
+alarms on every ``Definitely(Φ)`` satisfaction, crash-survivable."""
+
+from .api import DistributedMonitor, VariableProcess
+from .spec import ConjunctivePredicate, LocalClause
+
+__all__ = [
+    "ConjunctivePredicate",
+    "DistributedMonitor",
+    "LocalClause",
+    "VariableProcess",
+]

@@ -1,0 +1,233 @@
+"""The monitoring façade — the library's top-level user API.
+
+:class:`DistributedMonitor` assembles the whole stack (simulator,
+network, spanning tree, detector roles, heartbeats, repair) behind an
+imperative scenario interface:
+
+```python
+from repro.monitor import ConjunctivePredicate, DistributedMonitor
+from repro.topology import random_geometric_topology
+
+graph = random_geometric_topology(20, seed=1)
+monitor = DistributedMonitor(
+    graph,
+    ConjunctivePredicate.threshold(range(20), "temp", gt=30.0),
+    seed=1,
+)
+monitor.on_alarm(lambda record: print("ALARM", sorted(record.members)))
+
+for pid in range(20):
+    monitor.at(5.0 + pid * 0.1, monitor.setter(pid, "temp", 35.0))
+monitor.enable_gossip(rate=0.5)          # causality carrier
+monitor.at(40.0, monitor.setter(0, "temp", 20.0))
+monitor.run(until=120.0)
+```
+
+Every local variable update is an application event: the process's
+clause is re-evaluated, predicate edges open/close intervals, and the
+hierarchical detector raises an alarm for every satisfaction of
+``Definitely(Φ)`` — repeatedly, and across node crashes
+(:meth:`crash`).  ``Definitely`` needs causal overlap, so scenarios
+must move *some* application messages; :meth:`enable_gossip` provides a
+generic carrier, :meth:`send` a precise one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import networkx as nx
+
+from ..detect.roles import DetectionRecord, HierarchicalRole
+from ..fault.coordinator import RepairCoordinator
+from ..fault.injector import FailureInjector
+from ..sim.kernel import Simulator
+from ..sim.network import DelayModel, Network, uniform_delay
+from ..sim.process import MonitoredProcess
+from ..sim.trace import ExecutionTrace
+from ..topology.spanning_tree import SpanningTree
+from .spec import ConjunctivePredicate
+
+__all__ = ["VariableProcess", "DistributedMonitor"]
+
+
+class VariableProcess(MonitoredProcess):
+    """A monitored process holding named local variables.
+
+    Every update is an internal application event; the local clause is
+    re-evaluated and the predicate edge recorded on that same event, so
+    intervals line up exactly with the variable history.
+    """
+
+    def __init__(self, pid, sim, network, trace, role, predicate: ConjunctivePredicate):
+        super().__init__(pid, sim, network, trace, role)
+        self.variables: Dict[str, object] = {}
+        self.spec = predicate
+
+    def _reevaluate(self) -> None:
+        value = self.spec.evaluate(self.pid, self.variables)
+        if value != self.predicate:
+            self.set_predicate(value)
+        else:
+            self.internal_event()
+
+    def set_variable(self, name: str, value: object) -> None:
+        if not self.alive:
+            return
+        self.variables[name] = value
+        self._reevaluate()
+
+    def on_app_message(self, src, payload, ts) -> None:
+        # Gossip may carry variable snapshots; scenarios can subclass
+        # for richer application semantics.
+        pass
+
+
+class DistributedMonitor:
+    """Continuous hierarchical ``Definitely(Φ)`` monitoring over a graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        predicate: ConjunctivePredicate,
+        *,
+        root: int = 0,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        heartbeat: Optional[tuple] = (5.0, 16.0),
+    ) -> None:
+        pids = sorted(graph.nodes)
+        if predicate.processes != pids:
+            raise ValueError(
+                "predicate must define one clause per graph node "
+                f"(got {predicate.processes}, graph has {pids})"
+            )
+        self.graph = graph
+        self.predicate = predicate
+        self.tree = SpanningTree.bfs(graph, root=root)
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, graph, delay_model or uniform_delay())
+        self.trace = ExecutionTrace(len(pids))
+        self.alarms: List[DetectionRecord] = []
+        self._alarm_callbacks: List[Callable[[DetectionRecord], None]] = []
+        self._group_callbacks: List[Callable[[int, object], None]] = []
+
+        self.roles: Dict[int, HierarchicalRole] = {}
+        self.coordinator = RepairCoordinator(
+            self.sim, self.tree, graph, self.roles, is_alive=self.network.is_alive
+        )
+        for pid in self.tree.nodes:
+            self.roles[pid] = HierarchicalRole(
+                self.tree.parent_of(pid),
+                self.tree.children(pid),
+                heartbeat=heartbeat,
+                coordinator=self.coordinator if heartbeat else None,
+                on_detection=self._dispatch_alarm,
+                on_subtree_solution=self._dispatch_group,
+            )
+        self.processes: Dict[int, VariableProcess] = {
+            pid: VariableProcess(
+                pid, self.sim, self.network, self.trace, self.roles[pid], predicate
+            )
+            for pid in self.tree.nodes
+        }
+        self.injector = FailureInjector(self.sim, self.processes)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # scenario construction
+    # ------------------------------------------------------------------
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule *action* at absolute simulation time."""
+        self.sim.schedule_at(time, action)
+
+    def setter(self, pid: int, name: str, value) -> Callable[[], None]:
+        """A scheduled-update thunk for :meth:`at`."""
+        return lambda: self.processes[pid].set_variable(name, value)
+
+    def set_variable(self, pid: int, name: str, value) -> None:
+        """Immediate update (usable from inside scheduled actions)."""
+        self.processes[pid].set_variable(name, value)
+
+    def send(self, src: int, dst: int, payload: object = None) -> None:
+        """One application message (a causality edge) between graph
+        neighbours."""
+        if self.processes[src].alive:
+            self.processes[src].send_app(dst, payload)
+
+    def enable_gossip(self, *, rate: float = 0.5, until: float = 1e9) -> None:
+        """Periodic random neighbour-to-neighbour application messages —
+        the generic causality carrier that lets intervals overlap
+        observably."""
+        rng = self.sim.rng("gossip")
+        for pid in sorted(self.processes):
+            neighbours = sorted(self.graph.neighbors(pid))
+            if not neighbours:
+                continue
+            t = float(rng.exponential(1.0 / rate))
+            while t < until:
+                dst = int(rng.choice(neighbours))
+                self.sim.schedule_at(
+                    t,
+                    lambda s=pid, d=dst: (
+                        self.processes[s].alive
+                        and self.network.is_alive(d)
+                        and self.processes[s].send_app(d, "gossip")
+                    ),
+                )
+                t += float(rng.exponential(1.0 / rate))
+
+    def crash(self, time: float, pid: int) -> None:
+        """Crash-stop *pid* at *time*; the hierarchy repairs itself and
+        monitoring continues over the survivors."""
+        self.injector.crash_at(time, pid)
+
+    def rejoin(self, time: float, pid: int) -> None:
+        """Recover a previously crashed *pid* at *time*: it rejoins the
+        hierarchy as a leaf and the monitored predicate widens back."""
+        from ..fault.rejoin import RejoinManager
+
+        if not hasattr(self, "_rejoin_manager"):
+            self._rejoin_manager = RejoinManager(self.coordinator, self.processes)
+        self._rejoin_manager.schedule_rejoin(time, pid)
+
+    @property
+    def log(self):
+        """The run's structured observability log
+        (:class:`repro.sim.EventLog`)."""
+        return self.sim.log
+
+    # ------------------------------------------------------------------
+    # alarms
+    # ------------------------------------------------------------------
+    def on_alarm(self, callback: Callable[[DetectionRecord], None]) -> None:
+        """Called on every detection announced by a (partition-)root."""
+        self._alarm_callbacks.append(callback)
+
+    def on_group_alarm(self, callback: Callable[[int, object], None]) -> None:
+        """Called as ``callback(node, emission)`` for every subtree-level
+        solution — the group-level monitoring of Section I."""
+        self._group_callbacks.append(callback)
+
+    def _dispatch_alarm(self, record: DetectionRecord) -> None:
+        self.alarms.append(record)
+        for callback in self._alarm_callbacks:
+            callback(record)
+
+    def _dispatch_group(self, pid: int, emission) -> None:
+        for callback in self._group_callbacks:
+            callback(pid, emission)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        if not self._started:
+            for process in self.processes.values():
+                process.start()
+            self._started = True
+        self.sim.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

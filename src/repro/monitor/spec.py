@@ -1,0 +1,101 @@
+"""Predicate specifications for the monitoring façade.
+
+A :class:`ConjunctivePredicate` is the user-level object the paper's
+``Φ = φ_1 ∧ φ_2 ∧ … ∧ φ_n`` corresponds to: one boolean clause per
+process, each a pure function of that process's local variables.  The
+façade evaluates a process's clause after every local variable update
+and drives the underlying interval machinery automatically.
+
+Builders cover the common cases:
+
+* :meth:`ConjunctivePredicate.threshold` — "every x_i > 30";
+* :meth:`ConjunctivePredicate.equals` — "every mode_i == 'active'";
+* :meth:`ConjunctivePredicate.uniform` — one callable for all;
+* :meth:`ConjunctivePredicate.per_process` — heterogeneous clauses,
+  e.g. the paper's Section I example ``x_i > 20 ∧ y_j < 45``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+__all__ = ["LocalClause", "ConjunctivePredicate"]
+
+#: A local clause: variables of one process -> bool.
+LocalClause = Callable[[Mapping[str, object]], bool]
+
+
+class ConjunctivePredicate:
+    """A global conjunction of per-process local clauses."""
+
+    def __init__(self, clauses: Dict[int, LocalClause], *, name: str = "phi") -> None:
+        if not clauses:
+            raise ValueError("a conjunctive predicate needs at least one clause")
+        self.clauses = dict(clauses)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, processes, clause: LocalClause, *, name: str = "phi"):
+        """The same clause at every process."""
+        return cls({pid: clause for pid in processes}, name=name)
+
+    @classmethod
+    def threshold(
+        cls,
+        processes,
+        variable: str,
+        *,
+        gt: Optional[float] = None,
+        lt: Optional[float] = None,
+        name: Optional[str] = None,
+    ):
+        """``variable > gt`` and/or ``variable < lt`` at every process.
+        Missing variables evaluate to false (predicate not yet known)."""
+        if gt is None and lt is None:
+            raise ValueError("give at least one of gt/lt")
+
+        def clause(variables: Mapping[str, object]) -> bool:
+            value = variables.get(variable)
+            if value is None:
+                return False
+            if gt is not None and not value > gt:
+                return False
+            if lt is not None and not value < lt:
+                return False
+            return True
+
+        label = name or f"{variable}{'>' + str(gt) if gt is not None else ''}" + (
+            f"<{lt}" if lt is not None else ""
+        )
+        return cls.uniform(processes, clause, name=label)
+
+    @classmethod
+    def equals(cls, processes, variable: str, value, *, name: Optional[str] = None):
+        """``variable == value`` at every process."""
+        return cls.uniform(
+            processes,
+            lambda variables: variables.get(variable) == value,
+            name=name or f"{variable}=={value!r}",
+        )
+
+    @classmethod
+    def per_process(cls, clauses: Dict[int, LocalClause], *, name: str = "phi"):
+        """Explicit heterogeneous clauses (the general Section I form)."""
+        return cls(clauses, name=name)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, pid: int, variables: Mapping[str, object]) -> bool:
+        clause = self.clauses.get(pid)
+        if clause is None:
+            raise KeyError(f"no clause for process {pid}")
+        return bool(clause(variables))
+
+    @property
+    def processes(self):
+        return sorted(self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConjunctivePredicate({self.name!r}, n={len(self.clauses)})"

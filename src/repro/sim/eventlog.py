@@ -1,0 +1,77 @@
+"""Structured simulation event log.
+
+Operations-level observability for runs: detectors, heartbeat monitors
+and the repair machinery emit structured records (kind + fields) into
+the simulator's log, so an experiment, example or debugging session can
+reconstruct *why* the system did what it did without print-debugging.
+
+The log is always on (appending a dataclass is cheap at simulation
+scale) and queryable by kind; ``render()`` produces the narrated
+timeline the fault-tolerance example prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["LogRecord", "EventLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    time: float
+    kind: str
+    node: Optional[int]
+    fields: tuple  # sorted (key, value) pairs, hashable
+
+    def get(self, key: str, default=None):
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        detail = ", ".join(f"{k}={v}" for k, v in self.fields)
+        who = f"P{self.node}" if self.node is not None else "-"
+        return f"[{self.time:10.2f}] {who:>5} {self.kind:<18} {detail}"
+
+
+class EventLog:
+    """Append-only structured log with kind-indexed queries."""
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+        self._by_kind: Dict[str, List[LogRecord]] = {}
+
+    def emit(self, time: float, kind: str, node: Optional[int] = None, **fields) -> None:
+        record = LogRecord(
+            time=time,
+            kind=kind,
+            node=node,
+            fields=tuple(sorted(fields.items())),
+        )
+        self.records.append(record)
+        self._by_kind.setdefault(kind, []).append(record)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> List[LogRecord]:
+        return list(self._by_kind.get(kind, []))
+
+    def kinds(self) -> List[str]:
+        return sorted(self._by_kind)
+
+    def between(self, start: float, end: float) -> Iterator[LogRecord]:
+        return (r for r in self.records if start <= r.time <= end)
+
+    def render(self, *, kinds: Optional[List[str]] = None, limit: int = 0) -> str:
+        records = self.records
+        if kinds is not None:
+            wanted = set(kinds)
+            records = [r for r in records if r.kind in wanted]
+        if limit and len(records) > limit:
+            records = records[-limit:]
+        return "\n".join(str(r) for r in records)

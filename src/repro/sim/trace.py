@@ -1,0 +1,163 @@
+"""Execution traces: the recorded ``(E, ≺)`` of a run.
+
+A trace records, per process, the totally-ordered local sequence of
+events together with their vector timestamps and the local predicate
+value *after* each event.  From a trace we can
+
+* extract the per-process intervals (maximal runs of events at which
+  the local predicate is true) that drive the detectors, and
+* hand the full event structure to the offline ground-truth checkers
+  (:mod:`repro.detect.offline`).
+
+Traces come from two producers: the discrete-event simulator
+(:mod:`repro.sim.kernel` / :mod:`repro.sim.process`) and the scripted
+scenario builder (:mod:`repro.workload.scenarios`) used to reproduce
+the paper's figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..clocks import Timestamp
+from ..intervals import Interval
+
+__all__ = ["EventKind", "ProcessEvent", "ExecutionTrace"]
+
+
+class EventKind:
+    INTERNAL = "internal"
+    SEND = "send"
+    RECV = "recv"
+
+
+@dataclass(frozen=True)
+class ProcessEvent:
+    """One application-plane event.
+
+    ``index`` is 1-based and equals the process's own vector-clock
+    component at the event.  ``global_order`` is the order in which the
+    producer recorded events — any producer records causes before
+    effects, so it is a valid linearization of ``(E, ≺)``.  ``time`` is
+    the producer's wall clock (simulation time for DES runs, the global
+    order for scripted executions); the algorithms never read it — it
+    exists for latency measurements and rendering only.
+    """
+
+    process: int
+    index: int
+    timestamp: Timestamp
+    kind: str
+    predicate: bool
+    global_order: int
+    time: float = 0.0
+
+
+class ExecutionTrace:
+    """The recorded events of one distributed execution."""
+
+    def __init__(self, n: int, initial_predicate: Optional[Sequence[bool]] = None):
+        self.n = n
+        self.events: List[List[ProcessEvent]] = [[] for _ in range(n)]
+        self.initial_predicate: List[bool] = (
+            list(initial_predicate) if initial_predicate is not None else [False] * n
+        )
+        if len(self.initial_predicate) != n:
+            raise ValueError("initial_predicate must have one entry per process")
+        self._order = 0
+
+    def record(
+        self,
+        process: int,
+        timestamp: Timestamp,
+        kind: str,
+        predicate: bool,
+        time: float = 0.0,
+    ) -> ProcessEvent:
+        """Append one event to *process*'s local sequence."""
+        seq = self.events[process]
+        index = len(seq) + 1
+        if int(timestamp[process]) != index:
+            raise ValueError(
+                f"timestamp component {int(timestamp[process])} does not match "
+                f"local event index {index} at P{process}"
+            )
+        event = ProcessEvent(
+            process=process,
+            index=index,
+            timestamp=timestamp,
+            kind=kind,
+            predicate=predicate,
+            global_order=self._order,
+            time=time,
+        )
+        self._order += 1
+        seq.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def event_count(self) -> int:
+        return sum(len(seq) for seq in self.events)
+
+    def predicate_after(self, process: int, k: int) -> bool:
+        """Local predicate value after *process* executed ``k`` events."""
+        if k == 0:
+            return self.initial_predicate[process]
+        return self.events[process][k - 1].predicate
+
+    def intervals(self, process: int) -> List[Interval]:
+        """Maximal runs of predicate-true events at *process*, in order."""
+        out: List[Interval] = []
+        run_start: Optional[ProcessEvent] = None
+        last_true: Optional[ProcessEvent] = None
+        for event in self.events[process]:
+            if event.predicate:
+                if run_start is None:
+                    run_start = event
+                last_true = event
+            else:
+                if run_start is not None:
+                    out.append(
+                        Interval(
+                            owner=process,
+                            seq=len(out),
+                            lo=run_start.timestamp,
+                            hi=last_true.timestamp,
+                        )
+                    )
+                    run_start = None
+                    last_true = None
+        if run_start is not None:
+            out.append(
+                Interval(
+                    owner=process,
+                    seq=len(out),
+                    lo=run_start.timestamp,
+                    hi=last_true.timestamp,
+                )
+            )
+        return out
+
+    def all_intervals(self) -> Dict[int, List[Interval]]:
+        return {p: self.intervals(p) for p in range(self.n)}
+
+    def interval_close_time(self, interval: Interval) -> float:
+        """Wall time of the event at which *interval*'s predicate run
+        ended (its ``max(x)`` event)."""
+        events = self.events[interval.owner]
+        return events[int(interval.hi[interval.owner]) - 1].time
+
+    def intervals_in_completion_order(self) -> List[Interval]:
+        """All processes' intervals ordered by the global order of their
+        closing event — the natural delivery order for a centralized
+        sink replay with instantaneous channels."""
+
+        def close_order(interval: Interval) -> int:
+            events = self.events[interval.owner]
+            # hi component at owner is the 1-based index of the closing event
+            return events[int(interval.hi[interval.owner]) - 1].global_order
+
+        flat = [iv for p in range(self.n) for iv in self.intervals(p)]
+        flat.sort(key=close_order)
+        return flat

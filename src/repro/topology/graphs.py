@@ -1,0 +1,112 @@
+"""Communication-graph generators.
+
+The paper targets large-scale, multi-hop networks — WSNs and modular
+robotics — where the topology is far from a complete graph
+(Section II-A).  These generators cover the configurations the
+experiments and examples use; all return :class:`networkx.Graph` with
+integer node labels ``0 … n-1`` and are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "complete_topology",
+    "grid_topology",
+    "random_geometric_topology",
+    "small_world_topology",
+    "scale_free_topology",
+    "tree_with_chords",
+]
+
+
+def complete_topology(n: int) -> nx.Graph:
+    """All-pairs links — the classic (small) distributed-system model."""
+    return nx.complete_graph(n)
+
+
+def grid_topology(rows: int, cols: int) -> nx.Graph:
+    """A ``rows × cols`` mesh, relabelled to integers row-major."""
+    g = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(g, mapping)
+
+
+def random_geometric_topology(
+    n: int, radius: Optional[float] = None, seed: int = 0
+) -> nx.Graph:
+    """A connected random geometric graph — the standard WSN model.
+
+    Nodes are placed uniformly in the unit square and linked when
+    within *radius*.  The default radius ``sqrt(2 log n / n)`` is just
+    above the connectivity threshold; the radius is grown geometrically
+    until the sample is connected, so the function always returns a
+    connected graph.
+    """
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(n, 2)) / n)
+    rng = np.random.default_rng(seed)
+    pos = {i: (float(x), float(y)) for i, (x, y) in enumerate(rng.random((n, 2)))}
+    r = radius
+    for _ in range(32):
+        g = nx.random_geometric_graph(n, r, pos=pos)
+        if nx.is_connected(g):
+            return g
+        r *= 1.25
+    raise RuntimeError("could not produce a connected geometric graph")
+
+
+def small_world_topology(n: int, k: int = 4, rewire: float = 0.1, seed: int = 0) -> nx.Graph:
+    """A connected Watts–Strogatz small-world graph.
+
+    Models overlay/mesh networks with mostly-local links plus a few
+    long-range shortcuts — a good stress case for tree repair, since
+    shortcuts give orphan subtrees non-obvious reattachment points.
+    """
+    if n <= k:
+        return complete_topology(n)
+    return nx.connected_watts_strogatz_graph(n, k, rewire, tries=200, seed=seed)
+
+
+def scale_free_topology(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """A Barabási–Albert preferential-attachment graph (connected).
+
+    Hub-heavy topologies make the BFS spanning tree shallow but
+    high-degree — the regime where the hierarchical algorithm's ``d²``
+    time factor is most visible against ``n``.
+    """
+    if n <= m:
+        return complete_topology(n)
+    return nx.barabasi_albert_graph(n, m, seed=seed)
+
+
+def tree_with_chords(tree_graph: nx.Graph, extra_edges: int, seed: int = 0) -> nx.Graph:
+    """Add *extra_edges* random chords to a tree's edge set.
+
+    Failure experiments need the underlying graph to be denser than the
+    spanning tree, otherwise a crash partitions the network and orphan
+    subtrees cannot reattach (Section III-F assumes a surviving
+    neighbour exists).
+    """
+    g = tree_graph.copy()
+    nodes = sorted(g.nodes)
+    rng = np.random.default_rng(seed)
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 100 * max(extra_edges, 1):
+        u, v = rng.choice(nodes, size=2, replace=False)
+        attempts += 1
+        u, v = int(u), int(v)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g

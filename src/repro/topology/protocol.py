@@ -1,0 +1,158 @@
+"""Distributed spanning-tree construction — the assumed substrate, built.
+
+The paper "assumes a spanning tree is already constructed in the
+network" (Section III-A).  This module removes that assumption for the
+simulation: :class:`TreeBuilder` runs the classic asynchronous
+flooding/BFS construction over the real (non-FIFO, delayed) network:
+
+1. the designated root floods ``JOIN(depth=0)`` to its graph neighbours;
+2. a node adopts the sender of the *first* ``JOIN`` it receives as its
+   parent and floods ``JOIN(depth+1)`` onward; later ``JOIN``s are
+   answered ``DECLINED``;
+3. every flooded neighbour eventually answers with exactly one verdict:
+   ``DECLINED`` (it joined through someone else) or ``DONE`` (it was
+   adopted *and* its whole subtree is complete);
+4. once all verdicts are in, the node sends its own ``DONE`` to its
+   parent; the root's last verdict completes the tree.
+
+A single verdict message per edge-direction makes the protocol immune
+to the non-FIFO channels: with a separate "adopted" acknowledgement, a
+fast subtree's completion could overtake the adoption notice and
+deadlock the parent (a bug our first version had — caught by the
+cycle-graph test, kept as a regression case).
+
+Because message delays are random, the result is a *race-order* BFS
+tree: correct (spanning, cycle-free, edges ⊆ graph edges) but not
+necessarily minimum-depth — exactly what a real deployment would get.
+The detection layer runs unchanged on top; tests verify the built tree
+is always valid and that detection over it matches the oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+import networkx as nx
+
+from ..sim.kernel import Simulator
+from ..sim.network import Network
+from .spanning_tree import SpanningTree
+
+__all__ = ["TreeBuildMessage", "TreeBuilder"]
+
+
+@dataclass(frozen=True)
+class TreeBuildMessage:
+    kind: str  # "join" | "declined" | "done"
+    depth: int = 0
+
+
+class _BuilderNode:
+    """Per-node protocol state."""
+
+    def __init__(self, pid: int, builder: "TreeBuilder") -> None:
+        self.pid = pid
+        self.builder = builder
+        self.parent: Optional[int] = None
+        self.joined = pid == builder.root
+        self.depth = 0 if self.joined else -1
+        self.children: List[int] = []
+        self.awaiting: Set[int] = set()  # flooded neighbours, verdict pending
+        self.reported_done = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.pid == self.builder.root:
+            self._flood()
+
+    def _neighbours(self) -> List[int]:
+        return sorted(self.builder.graph.neighbors(self.pid))
+
+    def _send(self, dst: int, message: TreeBuildMessage) -> None:
+        self.builder.network.send(self.pid, dst, message, plane="control")
+
+    def _flood(self) -> None:
+        targets = [nb for nb in self._neighbours() if nb != self.parent]
+        self.awaiting = set(targets)
+        for nb in targets:
+            self._send(nb, TreeBuildMessage("join", self.depth))
+        self._maybe_done()
+
+    def on_message(self, src: int, message: TreeBuildMessage) -> None:
+        if message.kind == "join":
+            if self.joined:
+                self._send(src, TreeBuildMessage("declined"))
+            else:
+                self.joined = True
+                self.parent = src
+                self.depth = message.depth + 1
+                self._flood()
+        elif message.kind == "declined":
+            self.awaiting.discard(src)
+            self._maybe_done()
+        elif message.kind == "done":
+            # The one verdict that both acknowledges adoption and
+            # certifies the child's subtree is complete.
+            self.children.append(src)
+            self.awaiting.discard(src)
+            self._maybe_done()
+
+    def _maybe_done(self) -> None:
+        """A node is done once every flooded neighbour delivered its
+        verdict (each flooded edge yields exactly one DECLINED or DONE)."""
+        if self.reported_done or not self.joined or self.awaiting:
+            return
+        self.reported_done = True
+        if self.parent is not None:
+            self._send(self.parent, TreeBuildMessage("done"))
+        else:
+            self.builder._complete()
+
+
+class TreeBuilder:
+    """Drives the construction; call :meth:`start`, run the simulator,
+    then read :attr:`tree` (or pass ``on_complete``)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        graph: nx.Graph,
+        *,
+        root: int = 0,
+        on_complete: Optional[Callable[[SpanningTree], None]] = None,
+    ) -> None:
+        if root not in graph:
+            raise ValueError(f"root {root} not in graph")
+        self.sim = sim
+        self.network = network
+        self.graph = graph
+        self.root = root
+        self.on_complete = on_complete
+        self.tree: Optional[SpanningTree] = None
+        self.completed_at: Optional[float] = None
+        self._nodes: Dict[int, _BuilderNode] = {
+            pid: _BuilderNode(pid, self) for pid in graph.nodes
+        }
+
+    def start(self) -> None:
+        for pid in self._nodes:
+            self.network.attach(pid, self._make_handler(pid))
+        self._nodes[self.root].start()
+
+    def _make_handler(self, pid: int):
+        def handler(src: int, message: object, plane: str) -> None:
+            if isinstance(message, TreeBuildMessage):
+                self._nodes[pid].on_message(src, message)
+
+        return handler
+
+    def _complete(self) -> None:
+        parent = {pid: node.parent for pid, node in self._nodes.items() if node.joined}
+        self.tree = SpanningTree(self.root, parent)
+        self.completed_at = self.sim.now
+        self.sim.emit("tree_built", node=self.root,
+                      n=self.tree.n, height=self.tree.height)
+        if self.on_complete is not None:
+            self.on_complete(self.tree)

@@ -1,0 +1,318 @@
+"""Spanning trees — the detection hierarchy.
+
+The paper assumes "a pre-constructed spanning tree in the system"
+(Section III-A).  This module provides the tree abstraction the
+detectors and experiments run on:
+
+* regular ``(d, h)`` trees matching the complexity analysis of
+  Section IV, where level 1 is the leaves and level ``h`` the root, so
+  level ``i`` holds ``d^(h-i)`` nodes and ``n = (d^h - 1)/(d - 1)``
+  (the paper approximates ``n = d^h``);
+* BFS spanning trees over arbitrary connected communication graphs
+  (the WSN case).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+import networkx as nx
+
+__all__ = ["SpanningTree", "regular_tree_size"]
+
+
+def regular_tree_size(d: int, h: int) -> int:
+    """Number of nodes in a complete ``d``-ary tree with ``h`` levels."""
+    if d < 1 or h < 1:
+        raise ValueError("need d >= 1 and h >= 1")
+    if d == 1:
+        return h
+    return (d**h - 1) // (d - 1)
+
+
+class SpanningTree:
+    """A rooted spanning tree given by a parent map.
+
+    The structure is mutable only through :meth:`detach_subtree` /
+    :meth:`attach` / :meth:`remove_leaf_or_promote` — the operations
+    tree repair needs — so invariants are re-checked at mutation sites
+    rather than everywhere.
+    """
+
+    def __init__(self, root: int, parent: Dict[int, Optional[int]]) -> None:
+        if parent.get(root, "missing") is not None:
+            raise ValueError("root must map to None in the parent dict")
+        self.root = root
+        self.parent: Dict[int, Optional[int]] = dict(parent)
+        self._children: Dict[int, List[int]] = {node: [] for node in parent}
+        for node, par in parent.items():
+            if par is not None:
+                if par not in parent:
+                    raise ValueError(f"parent {par} of {node} is not a tree node")
+                self._children[par].append(node)
+        for kids in self._children.values():
+            kids.sort()
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def regular(cls, d: int, h: int) -> "SpanningTree":
+        """Complete ``d``-ary tree with ``h`` levels, root ``0``, nodes
+        numbered breadth-first."""
+        n = regular_tree_size(d, h)
+        parent: Dict[int, Optional[int]] = {0: None}
+        if d == 1:
+            for i in range(1, n):
+                parent[i] = i - 1
+        else:
+            for i in range(1, n):
+                parent[i] = (i - 1) // d
+        return cls(0, parent)
+
+    @classmethod
+    def bfs(cls, graph: nx.Graph, root: int = 0) -> "SpanningTree":
+        """Breadth-first spanning tree of a connected graph.
+
+        BFS minimizes depth, which minimizes the height term in both
+        message-complexity formulas — a reasonable default for a
+        monitoring overlay.
+        """
+        if root not in graph:
+            raise ValueError(f"root {root} not in graph")
+        parent: Dict[int, Optional[int]] = {root: None}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in sorted(graph.neighbors(u)):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        if len(parent) != graph.number_of_nodes():
+            raise ValueError("graph is not connected")
+        return cls(root, parent)
+
+    @classmethod
+    def bfs_bounded(cls, graph: nx.Graph, root: int = 0, max_degree: int = 3) -> "SpanningTree":
+        """BFS spanning tree with a per-node children bound.
+
+        Section IV's complexity trades the tree degree ``d`` against its
+        height ``h`` (messages ~ ``d^(h-1)``, per-node time ~ ``d²``).
+        Plain BFS can produce hubs with huge fan-in (hurting the ``d²``
+        term); this constructor caps adoptions per node, letting later
+        frontier nodes adopt the remainder.  Nodes that no in-capacity
+        frontier node can reach are attached to their earliest-visited
+        neighbour regardless of the cap (connectivity beats the bound).
+        """
+        if root not in graph:
+            raise ValueError(f"root {root} not in graph")
+        if max_degree < 1:
+            raise ValueError("max_degree must be >= 1")
+        parent: Dict[int, Optional[int]] = {root: None}
+        child_count: Dict[int, int] = {root: 0}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in sorted(graph.neighbors(u)):
+                if v in parent or child_count[u] >= max_degree:
+                    continue
+                parent[v] = u
+                child_count[v] = 0
+                child_count[u] += 1
+                queue.append(v)
+        # Connectivity fallback for nodes every candidate parent was too
+        # full to adopt: attach to any visited neighbour, ignoring the cap.
+        remaining = deque(
+            sorted(v for v in graph.nodes if v not in parent)
+        )
+        stall = 0
+        while remaining and stall <= len(remaining):
+            v = remaining.popleft()
+            adopter = next(
+                (u for u in sorted(graph.neighbors(v)) if u in parent), None
+            )
+            if adopter is None:
+                remaining.append(v)
+                stall += 1
+                continue
+            parent[v] = adopter
+            child_count[v] = 0
+            stall = 0
+        if len(parent) != graph.number_of_nodes():
+            raise ValueError("graph is not connected")
+        return cls(root, parent)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.parent)
+
+    @property
+    def n(self) -> int:
+        return len(self.parent)
+
+    def children(self, node: int) -> List[int]:
+        return list(self._children[node])
+
+    def parent_of(self, node: int) -> Optional[int]:
+        return self.parent[node]
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def leaves(self) -> List[int]:
+        return [node for node in self.nodes if self.is_leaf(node)]
+
+    def depth(self, node: int) -> int:
+        d = 0
+        cur = node
+        while self.parent[cur] is not None:
+            cur = self.parent[cur]
+            d += 1
+        return d
+
+    @property
+    def height(self) -> int:
+        """Number of levels (paper's ``h``): max depth + 1."""
+        return max(self.depth(node) for node in self.nodes) + 1
+
+    def level(self, node: int) -> int:
+        """Paper's level numbering: leaves of a complete tree are
+        level 1, the root is level ``h``."""
+        return self.height - self.depth(node)
+
+    @property
+    def degree(self) -> int:
+        """Paper's ``d``: maximum number of children of any node."""
+        return max((len(kids) for kids in self._children.values()), default=0)
+
+    def path_to_root(self, node: int) -> List[int]:
+        """``[node, …, root]`` along tree edges."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def subtree_nodes(self, node: int) -> List[int]:
+        out = []
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(self._children[u])
+        return sorted(out)
+
+    def iter_bfs(self) -> Iterator[int]:
+        queue = deque([self.root])
+        while queue:
+            u = queue.popleft()
+            yield u
+            queue.extend(self._children[u])
+
+    def as_graph(self) -> nx.Graph:
+        """The tree's edge set as an undirected graph (a valid, minimal
+        communication topology)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.parent)
+        g.add_edges_from(
+            (node, par) for node, par in self.parent.items() if par is not None
+        )
+        return g
+
+    # ------------------------------------------------------------------
+    # mutation (tree repair)
+    # ------------------------------------------------------------------
+    def remove_node(self, node: int) -> List[int]:
+        """Remove *node*; return its (now orphaned) former children.
+
+        The orphans' subtrees stay internally intact but are detached
+        from the tree until re-attached.  Removing the root leaves
+        every former child orphaned; the caller picks a new root.
+        """
+        orphans = self.children(node)
+        par = self.parent[node]
+        if par is not None:
+            self._children[par].remove(node)
+        del self.parent[node]
+        del self._children[node]
+        for orphan in orphans:
+            self.parent[orphan] = None
+        return orphans
+
+    def attach(self, child: int, new_parent: int) -> None:
+        """Attach detached subtree root *child* below *new_parent*."""
+        if self.parent.get(child, "missing") is not None:
+            raise ValueError(f"{child} is not a detached subtree root")
+        if new_parent not in self.parent:
+            raise ValueError(f"{new_parent} is not in the tree")
+        if new_parent in self.subtree_nodes(child):
+            raise ValueError("attachment would create a cycle")
+        self.parent[child] = new_parent
+        self._children[new_parent].append(child)
+        self._children[new_parent].sort()
+
+    def add_leaf(self, node: int, parent: int) -> None:
+        """Add *node* (not currently in the tree) as a leaf under
+        *parent* — used when a recovered process rejoins."""
+        if node in self.parent:
+            raise ValueError(f"{node} is already in the tree")
+        if parent not in self.parent:
+            raise ValueError(f"{parent} is not in the tree")
+        self.parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+        self._children[parent].sort()
+
+    def set_root(self, node: int) -> None:
+        """Declare detached node *node* the (new) root."""
+        if self.parent.get(node, "missing") is not None:
+            raise ValueError(f"{node} is not detached")
+        self.root = node
+
+    def reroot_subtree(self, old_root: int, new_root: int) -> List[tuple]:
+        """Re-root the detached subtree of *old_root* at *new_root*.
+
+        Reverses parent/child pointers along the path between them and
+        returns the list of ``(former_parent, former_child)`` edges that
+        flipped — the fault layer uses it to reset the affected
+        detectors' queues.
+        """
+        if self.parent.get(old_root, "missing") is not None:
+            raise ValueError(f"{old_root} is not a detached subtree root")
+        if new_root not in self.subtree_nodes(old_root):
+            raise ValueError(f"{new_root} is not in {old_root}'s subtree")
+        # path new_root -> old_root via parent pointers
+        path = [new_root]
+        while path[-1] != old_root:
+            path.append(self.parent[path[-1]])
+        flipped = []
+        for child, par in zip(path, path[1:]):
+            # reverse the edge: par becomes child of child
+            self._children[par].remove(child)
+            self._children[child].append(par)
+            self._children[child].sort()
+            self.parent[par] = child
+            flipped.append((par, child))
+        self.parent[new_root] = None
+        return flipped
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        seen = set()
+        for node in self.parent:
+            cur = node
+            hops = 0
+            while self.parent[cur] is not None:
+                cur = self.parent[cur]
+                hops += 1
+                if hops > len(self.parent):
+                    raise ValueError("cycle in parent map")
+            if cur != self.root:
+                raise ValueError(f"node {node} does not reach the root")
+            seen.add(node)
+        if self.root not in seen:
+            raise ValueError("root missing")

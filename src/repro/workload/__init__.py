@@ -1,0 +1,33 @@
+"""Workload generation: epoch waves, random chatter, predicate models,
+and the paper's scripted figure scenarios."""
+
+from .generator import EpochConfig, EpochProcess, EpochWorkload, RandomWorkload
+from .predicates import PeriodicPhases, RandomToggle, ThresholdSensor
+from .regional import RegionalConfig, RegionalProcess, RegionalWorkload
+from .scenarios import (
+    ScriptedExecution,
+    figure1_nested_execution,
+    figure1_staggered_execution,
+    figure2_execution,
+    figure2_tree,
+    figure3_execution,
+)
+
+__all__ = [
+    "EpochConfig",
+    "EpochProcess",
+    "EpochWorkload",
+    "PeriodicPhases",
+    "RandomToggle",
+    "RandomWorkload",
+    "RegionalConfig",
+    "RegionalProcess",
+    "RegionalWorkload",
+    "ScriptedExecution",
+    "ThresholdSensor",
+    "figure1_nested_execution",
+    "figure1_staggered_execution",
+    "figure2_execution",
+    "figure2_tree",
+    "figure3_execution",
+]

@@ -1,0 +1,112 @@
+"""Local-predicate signal models.
+
+The detection algorithms are agnostic to *why* a local predicate
+toggles; these models give the examples realistic sources:
+
+* :class:`PeriodicPhases` — duty-cycled activity (e.g. a sensor's
+  sampling window), with jitter;
+* :class:`RandomToggle` — memoryless on/off alternation;
+* :class:`ThresholdSensor` — a bounded random walk crossed against a
+  threshold, the classic "temperature above limit" WSN predicate the
+  paper's introduction motivates.
+
+Each model is an iterator of ``(duration, value)`` phases, consumed by
+drivers that schedule ``set_predicate`` flips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["PeriodicPhases", "RandomToggle", "ThresholdSensor"]
+
+
+class PeriodicPhases:
+    """Alternating on/off phases of fixed nominal length plus jitter."""
+
+    def __init__(
+        self,
+        on_duration: float,
+        off_duration: float,
+        jitter: float = 0.0,
+        *,
+        start_on: bool = False,
+    ) -> None:
+        if on_duration <= 0 or off_duration <= 0:
+            raise ValueError("durations must be positive")
+        self.on_duration = on_duration
+        self.off_duration = off_duration
+        self.jitter = jitter
+        self.start_on = start_on
+
+    def phases(self, rng: np.random.Generator) -> Iterator[Tuple[float, bool]]:
+        value = self.start_on
+        while True:
+            nominal = self.on_duration if value else self.off_duration
+            duration = max(1e-6, nominal + float(rng.uniform(-1, 1)) * self.jitter)
+            yield duration, value
+            value = not value
+
+
+class RandomToggle:
+    """Exponentially distributed on/off phases."""
+
+    def __init__(self, mean_on: float, mean_off: float, *, start_on: bool = False):
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("means must be positive")
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.start_on = start_on
+
+    def phases(self, rng: np.random.Generator) -> Iterator[Tuple[float, bool]]:
+        value = self.start_on
+        while True:
+            mean = self.mean_on if value else self.mean_off
+            yield float(rng.exponential(mean)), value
+            value = not value
+
+
+class ThresholdSensor:
+    """A sampled random-walk reading compared against a threshold.
+
+    The predicate is "reading > threshold".  Produces one phase per
+    threshold crossing; consecutive samples are ``sample_period``
+    apart, and the reading follows a mean-reverting walk so crossings
+    recur indefinitely.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.7,
+        sample_period: float = 1.0,
+        *,
+        step: float = 0.15,
+        reversion: float = 0.1,
+        initial: float = 0.5,
+    ) -> None:
+        self.threshold = threshold
+        self.sample_period = sample_period
+        self.step = step
+        self.reversion = reversion
+        self.initial = initial
+
+    def readings(self, rng: np.random.Generator) -> Iterator[float]:
+        x = self.initial
+        while True:
+            yield x
+            x += float(rng.normal(0, self.step)) - self.reversion * (x - 0.5)
+
+    def phases(self, rng: np.random.Generator) -> Iterator[Tuple[float, bool]]:
+        readings = self.readings(rng)
+        value = next(readings) > self.threshold
+        duration = self.sample_period
+        for reading in readings:
+            above = reading > self.threshold
+            if above == value:
+                duration += self.sample_period
+            else:
+                yield duration, value
+                value = above
+                duration = self.sample_period

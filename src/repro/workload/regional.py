@@ -1,0 +1,142 @@
+"""Regional workload — group-local predicate episodes.
+
+Section I motivates hierarchical detection with "finer-grained
+monitoring in those large-scale networks where grouping is established
+and the monitoring happens at the group level".  This workload makes
+that concrete: each episode picks one spanning-tree *region* (the
+subtree under a random interior node) and runs a causality wave only
+inside it — every member's interval overlaps every other member's, but
+processes outside the region stay silent.
+
+Consequences the tests and experiments verify:
+
+* the region's root detects the episode (a partial predicate over its
+  group) and reports the aggregate upward;
+* the global root detects *nothing* for region-local episodes (some
+  global queue stays empty), yet the monitoring system still produced
+  actionable group alarms — no central component ever saw the raw
+  intervals;
+* episodes that pick the global root's subtree are global occurrences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..sim.kernel import Simulator
+from ..topology.spanning_tree import SpanningTree
+from .generator import EpochProcess
+
+__all__ = ["RegionalConfig", "RegionalWorkload"]
+
+
+@dataclass
+class RegionalConfig:
+    episodes: int = 12
+    episode_length: Optional[float] = None
+    start_jitter: float = 0.4
+    drain_time: float = 60.0
+    # Probability an episode spans the whole network instead of a region.
+    global_prob: float = 0.2
+
+    def resolved_episode_length(self, height: int, max_delay: float) -> float:
+        if self.episode_length is not None:
+            return self.episode_length
+        return (2.0 * height + 4.0) * max_delay + self.start_jitter + 2.0
+
+
+class RegionalWorkload:
+    """Episode scheduler over subtree regions.
+
+    Reuses :class:`~repro.workload.generator.EpochProcess`'s wave
+    protocol, but scoped: for a region rooted at ``r``, the wave runs on
+    the *subtree* of ``r`` (non-members never raise their predicate, so
+    their queues — and any ancestor's detection — stay untouched).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: Dict[int, "RegionalProcess"],
+        tree: SpanningTree,
+        config: RegionalConfig,
+        *,
+        max_delay: float = 1.5,
+    ) -> None:
+        self.sim = sim
+        self.processes = processes
+        self.tree = tree
+        self.config = config
+        self.episode_length = config.resolved_episode_length(tree.height, max_delay)
+        self.regions_by_episode: List[int] = []
+
+    @property
+    def end_time(self) -> float:
+        return self.config.episodes * self.episode_length + self.config.drain_time
+
+    def _interior_nodes(self) -> List[int]:
+        return [pid for pid in self.tree.nodes if not self.tree.is_leaf(pid)]
+
+    def install(self) -> None:
+        rng = self.sim.rng("workload")
+        interiors = self._interior_nodes() or [self.tree.root]
+        for episode in range(self.config.episodes):
+            base = episode * self.episode_length
+            if rng.random() < self.config.global_prob:
+                region_root = self.tree.root
+            else:
+                region_root = int(rng.choice(interiors))
+            self.regions_by_episode.append(region_root)
+            members = set(self.tree.subtree_nodes(region_root))
+            for pid in sorted(members):
+                process = self.processes[pid]
+                jitter = float(rng.uniform(0, self.config.start_jitter))
+                self.sim.schedule_at(
+                    base + jitter,
+                    lambda p=process, e=episode, m=frozenset(members), r=region_root:
+                        p.begin_regional_epoch(e, m, r),
+                )
+        self.sim.schedule_at(
+            self.config.episodes * self.episode_length + self.config.drain_time / 2,
+            self._finish_all,
+        )
+
+    def _finish_all(self) -> None:
+        for process in self.processes.values():
+            if process.alive:
+                process.finish()
+
+
+class RegionalProcess(EpochProcess):
+    """EpochProcess whose waves are scoped to an episode's region."""
+
+    def __init__(self, pid, sim, network, trace, role, tree):
+        super().__init__(pid, sim, network, trace, role, tree)
+        self._region: frozenset = frozenset()
+        self._region_root: Optional[int] = None
+
+    def begin_regional_epoch(self, epoch: int, members: frozenset, region_root: int) -> None:
+        self._region = members
+        self._region_root = region_root
+        self.begin_epoch(epoch, defector=False)
+
+    # Scope the wave to the region: children outside it do not report,
+    # and the region root acts as the wave's "root".
+    def _children(self):
+        return [c for c in self.tree.children(self.pid) if c in self._region]
+
+    def _maybe_send_up(self, epoch: int) -> None:
+        if epoch not in self._began or epoch in self._up_sent:
+            return
+        if self._up_count.get(epoch, 0) < len(self._children()):
+            return
+        self._up_sent.add(epoch)
+        if self.pid == self._region_root:
+            for child in self._children():
+                self.send_app(child, ("down", epoch))
+            self._on_wave_down(epoch)
+        else:
+            parent = self.tree.parent_of(self.pid)
+            if parent is not None:
+                self.send_app(parent, ("up", epoch))

@@ -1,0 +1,118 @@
+"""Unit tests: the Section IV closed forms (and the Eq. 14 erratum)."""
+
+import pytest
+
+from repro.analysis import (
+    centralized_messages,
+    centralized_messages_paper_eq14,
+    centralized_messages_sum,
+    centralized_time_bound,
+    hierarchical_messages,
+    hierarchical_messages_sum,
+    hierarchical_time_bound,
+    paper_n,
+    space_bound,
+    table1_rows,
+    tree_nodes,
+)
+
+
+class TestClosedFormsMatchDefinitions:
+    def test_hierarchical_eq11_equals_direct_sum(self):
+        for d in (2, 3, 4, 6):
+            for h in range(2, 9):
+                for alpha in (0.0, 0.1, 0.45, 0.9, 1.0):
+                    closed = hierarchical_messages(20, d, h, alpha)
+                    direct = hierarchical_messages_sum(20, d, h, alpha)
+                    assert closed == pytest.approx(direct, rel=1e-12)
+
+    def test_centralized_corrected_equals_eq12_sum(self):
+        for d in (1, 2, 3, 4, 6):
+            for h in range(2, 9):
+                closed = centralized_messages(20, d, h)
+                direct = centralized_messages_sum(20, d, h)
+                assert closed == pytest.approx(direct, rel=1e-12)
+
+    def test_paper_eq14_is_wrong(self):
+        """The erratum: the printed Eq. (14) disagrees with its own
+        definition Eq. (12) — e.g. 2p vs 10p at d=2, h=3, and it even
+        goes negative at h=2."""
+        assert centralized_messages_sum(1, 2, 3) == 10
+        assert centralized_messages_paper_eq14(1, 2, 3) == 2
+        assert centralized_messages_paper_eq14(1, 2, 2) < 0
+
+    def test_eq14_undefined_at_d1(self):
+        with pytest.raises(ValueError):
+            centralized_messages_paper_eq14(1, 1, 3)
+
+
+class TestShapes:
+    def test_hierarchical_beats_centralized(self):
+        """The paper's headline comparison holds with the corrected
+        formula, for every practical (d, h, alpha)."""
+        for d in (2, 3, 4):
+            for h in range(3, 9):
+                for alpha in (0.1, 0.45, 0.9):
+                    hier = hierarchical_messages(20, d, h, alpha)
+                    cent = centralized_messages(20, d, h)
+                    assert hier < cent
+
+    def test_gap_grows_with_height(self):
+        ratios = [
+            centralized_messages(20, 2, h) / hierarchical_messages(20, 2, h, 0.45)
+            for h in range(3, 10)
+        ]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_smaller_alpha_fewer_messages(self):
+        low = hierarchical_messages(20, 2, 6, 0.1)
+        high = hierarchical_messages(20, 2, 6, 0.45)
+        assert low < high
+
+    def test_p_is_linear(self):
+        assert hierarchical_messages(40, 2, 5, 0.3) == pytest.approx(
+            2 * hierarchical_messages(20, 2, 5, 0.3)
+        )
+        assert centralized_messages(40, 2, 5) == pytest.approx(
+            2 * centralized_messages(20, 2, 5)
+        )
+
+    def test_alpha_one_limit(self):
+        # Eq. (11) at alpha -> 1 equals p d^(h-1) (h-1).
+        assert hierarchical_messages(10, 2, 4, 1.0) == 10 * 8 * 3
+        near = hierarchical_messages(10, 2, 4, 1 - 1e-12)
+        assert near == pytest.approx(10 * 8 * 3, rel=1e-6)
+
+
+class TestBoundsAndSizes:
+    def test_tree_nodes(self):
+        assert tree_nodes(2, 3) == 7
+        assert tree_nodes(1, 5) == 5
+        assert paper_n(2, 3) == 8
+        with pytest.raises(ValueError):
+            tree_nodes(0, 3)
+
+    def test_time_bounds_ordering(self):
+        """O(d^2 p n^2) < O(p n^3) whenever d^2 < n (h > 2)."""
+        for d in (2, 3, 4):
+            for h in (3, 4, 5):
+                n = tree_nodes(d, h)
+                assert hierarchical_time_bound(10, n, d) < centralized_time_bound(10, n)
+
+    def test_space_bound(self):
+        assert space_bound(10, 7) == 490
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert [r["metric"] for r in rows] == [
+            "Space Complexity",
+            "Time Complexity",
+            "Message Complexity",
+        ]
+        assert all("hierarchical" in r and "centralized" in r for r in rows)
+
+    def test_degenerate_heights(self):
+        assert hierarchical_messages(10, 2, 1, 0.5) == 0.0
+        assert centralized_messages(10, 2, 1) == 0.0
+        with pytest.raises(ValueError):
+            hierarchical_messages(10, 2, 0, 0.5)

@@ -1,0 +1,70 @@
+"""Unit tests: empirical metric collection."""
+
+from repro.analysis import RunMetrics
+from repro.analysis.metrics import NodeMetrics
+from repro.experiments.harness import run_centralized, run_hierarchical
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+
+def node(pid, comparisons, queue=0, level=1):
+    return NodeMetrics(
+        pid=pid,
+        level=level,
+        comparisons=comparisons,
+        detections=0,
+        peak_queue_intervals=queue,
+        messages_sent=0,
+    )
+
+
+class TestRunMetrics:
+    def test_aggregates(self):
+        m = RunMetrics(control_messages=5, app_messages=7)
+        m.per_node = [node(0, 10, queue=2), node(1, 30, queue=4)]
+        assert m.total_comparisons == 40
+        assert m.max_comparisons_per_node == 30
+        assert m.max_queue_per_node == 4
+        assert m.total_peak_queue == 6
+
+    def test_gini_extremes(self):
+        even = RunMetrics(0, 0)
+        even.per_node = [node(i, 10) for i in range(8)]
+        assert even.comparisons_gini() == 0.0
+        concentrated = RunMetrics(0, 0)
+        concentrated.per_node = [node(0, 1000)] + [node(i, 0) for i in range(1, 8)]
+        assert concentrated.comparisons_gini() > 0.8
+
+    def test_gini_empty(self):
+        assert RunMetrics(0, 0).comparisons_gini() == 0.0
+
+
+class TestCollection:
+    def test_centralized_concentrates_work_hierarchical_spreads_it(self):
+        config = EpochConfig(epochs=6, sync_prob=0.8)
+        hier = run_hierarchical(SpanningTree.regular(2, 3), seed=2, config=config)
+        cent = run_centralized(SpanningTree.regular(2, 3), seed=2, config=config)
+        # The Table I qualitative claim, measured:
+        assert cent.metrics.comparisons_gini() > hier.metrics.comparisons_gini()
+        assert cent.metrics.max_comparisons_per_node > hier.metrics.max_comparisons_per_node
+        assert cent.metrics.max_queue_per_node >= hier.metrics.max_queue_per_node
+
+    def test_realized_alpha_bounds(self):
+        result = run_hierarchical(
+            SpanningTree.regular(2, 3),
+            seed=2,
+            config=EpochConfig(epochs=6, sync_prob=0.5),
+        )
+        for level, alpha in result.metrics.realized_alpha_by_level.items():
+            assert 0.0 <= alpha <= 1.0
+        # Leaves trivially "detect" every local interval.
+        assert result.metrics.realized_alpha_by_level[1] == 1.0
+
+    def test_per_node_message_accounting_totals(self):
+        result = run_hierarchical(
+            SpanningTree.regular(2, 3),
+            seed=2,
+            config=EpochConfig(epochs=4, sync_prob=1.0),
+        )
+        per_node_total = sum(m.messages_sent for m in result.metrics.per_node)
+        assert per_node_total == result.network.messages_sent()

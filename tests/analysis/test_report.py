@@ -1,0 +1,39 @@
+"""Unit tests: plain-text table/series rendering."""
+
+from repro.analysis import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2] and "22" in lines[3]
+        # Columns align: every row has the separator at the same offset.
+        sep = lines[1]
+        assert set(sep.replace(" ", "")) == {"-"}
+
+    def test_wide_cells_stretch_columns(self):
+        out = render_table(["x"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in out
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series(
+            "My figure", [2, 3], {"curve": [1.5, 2.5], "other": [0.1, 0.2]}
+        )
+        assert out.startswith("My figure")
+        assert "curve" in out and "other" in out
+        assert "2.5" in out
+
+
+class TestRenderKv:
+    def test_pairs(self):
+        out = render_kv("Stats", {"messages": 10, "alpha": 0.4})
+        assert "Stats" in out
+        assert "messages" in out and "10" in out
+
+    def test_empty(self):
+        assert render_kv("T", {}) == "T"

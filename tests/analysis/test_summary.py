@@ -1,0 +1,49 @@
+"""Unit tests: run summaries."""
+
+from repro.analysis import render_summary, summarize_run
+from repro.experiments import run_hierarchical
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig
+
+
+def run_with_failure():
+    tree = SpanningTree.regular(2, 3)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=8, seed=1)
+    return run_hierarchical(
+        tree, graph=graph, seed=1,
+        config=EpochConfig(epochs=10, sync_prob=1.0, drain_time=100.0),
+        failures=[(60.0, 5)], revivals=[(140.0, 5)],
+    )
+
+
+class TestSummarizeRun:
+    def test_counts_consistent(self):
+        result = run_with_failure()
+        summary = summarize_run(result)
+        assert summary.n == 7
+        assert summary.detections == len(result.detections)
+        assert summary.full_detections + summary.partial_detections == summary.detections
+        assert summary.partial_detections > 0  # the 6-member window
+        assert summary.crashes == 1 and summary.rejoins == 1
+        assert summary.control_messages == result.metrics.control_messages
+        assert summary.latency_mean is not None and summary.latency_mean > 0
+
+    def test_alpha_levels_present(self):
+        summary = summarize_run(run_with_failure())
+        assert summary.realized_alpha_by_level.get(1) == 1.0
+        assert all(0 <= a <= 1 for a in summary.realized_alpha_by_level.values())
+
+    def test_render_contains_key_lines(self):
+        summary = summarize_run(run_with_failure())
+        text = render_summary(summary, title="My run")
+        assert text.startswith("My run")
+        assert "detections (full / partial)" in text
+        assert "crashes / rejoins / partitions" in text
+        assert "realized alpha" in text
+
+    def test_no_failure_run_omits_failure_line(self):
+        result = run_hierarchical(
+            SpanningTree.regular(2, 2), seed=1, config=EpochConfig(epochs=3)
+        )
+        text = render_summary(summarize_run(result))
+        assert "crashes" not in text

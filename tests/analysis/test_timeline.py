@@ -1,0 +1,45 @@
+"""Unit tests: ASCII timing-diagram rendering."""
+
+from repro.analysis import render_timeline
+from repro.sim import ExecutionTrace
+from repro.workload import ScriptedExecution, figure1_staggered_execution
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        out = render_timeline(ExecutionTrace(2))
+        assert out.splitlines() == ["P0 |", "P1 |"]
+
+    def test_lanes_and_marks(self):
+        ex = ScriptedExecution(2)
+        ex.set_pred(0, True)   # col 0: internal, predicate True -> 'I'
+        ex.send(0, "m")        # col 1: send, True -> 'S'
+        ex.recv(1, "m")        # col 2: recv at P1, False -> 'r'
+        ex.set_pred(0, False)  # col 3: internal, False -> 'i'
+        lines = render_timeline(ex.trace).splitlines()
+        # P0 stays true through the recv gap (col 2 shaded '#').
+        assert lines[0] == "P0 |IS#i"
+        assert lines[1] == "P1 |..r."
+
+    def test_shading_between_events(self):
+        ex = ScriptedExecution(2)
+        ex.set_pred(0, True)
+        ex.internal(1)
+        ex.internal(1)
+        ex.set_pred(0, False)
+        p0 = render_timeline(ex.trace).splitlines()[0]
+        # Between its two events, P0's lane is shaded '#'.
+        assert p0 == "P0 |I##i"
+
+    def test_figure1_shows_staggered_intervals(self):
+        out = render_timeline(figure1_staggered_execution().trace)
+        p0, p1 = out.splitlines()
+        # P0's predicate-true span starts before P1's and ends before it.
+        assert p0.index("I") < p1.index("I")
+        assert p0.rstrip("#.").rindex("S") < len(p1.rstrip("."))
+
+    def test_width_padding(self):
+        ex = ScriptedExecution(1)
+        ex.internal(0)
+        out = render_timeline(ex.trace, width=5)
+        assert out == "P0 |i...."

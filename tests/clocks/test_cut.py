@@ -1,0 +1,65 @@
+"""Unit tests: cuts and cut consistency."""
+
+import pytest
+
+from repro.clocks import Cut, VectorClock, cut_of_events, freeze, is_consistent_cut
+
+
+def two_process_events():
+    """P0: e1 (send m), e2; P1: f1, f2 (recv m).  Returns timestamps."""
+    a, b = VectorClock(2, 0), VectorClock(2, 1)
+    e1 = a.send()  # [1,0]
+    f1 = b.tick()  # [0,1]
+    e2 = a.tick()  # [2,0]
+    f2 = b.receive(e1)  # [1,2]
+    return [[e1, e2], [f1, f2]]
+
+
+class TestConsistency:
+    def test_empty_cut_consistent(self):
+        events = two_process_events()
+        assert is_consistent_cut(freeze([0, 0]), events)
+
+    def test_full_cut_consistent(self):
+        events = two_process_events()
+        assert is_consistent_cut(freeze([2, 2]), events)
+
+    def test_inconsistent_cut_missing_send(self):
+        # f2 received m but the cut excludes the send e1.
+        events = two_process_events()
+        assert not is_consistent_cut(freeze([0, 2]), events)
+
+    def test_consistent_cut_with_send_included(self):
+        events = two_process_events()
+        assert is_consistent_cut(freeze([1, 2]), events)
+
+    def test_out_of_range_cut(self):
+        events = two_process_events()
+        assert not is_consistent_cut(freeze([3, 0]), events)
+        assert not is_consistent_cut(freeze([-1, 0]), events)
+
+
+class TestCutOps:
+    def test_union_intersection(self):
+        c1, c2 = Cut([1, 3]), Cut([2, 1])
+        assert c1.union(c2).vector.tolist() == [2, 3]
+        assert c1.intersection(c2).vector.tolist() == [1, 1]
+
+    def test_ordering_and_equality(self):
+        assert Cut([1, 1]) <= Cut([2, 1])
+        assert not (Cut([2, 1]) <= Cut([1, 1]))
+        assert Cut([1, 2]) == Cut([1, 2])
+        assert hash(Cut([1, 2])) == hash(Cut([1, 2]))
+        assert Cut([1, 2]) != Cut([2, 1])
+
+    def test_includes_event(self):
+        cut = Cut([2, 0])
+        assert cut.includes_event(0, 2)
+        assert not cut.includes_event(0, 3)
+        assert not cut.includes_event(1, 1)
+
+    def test_cut_of_events_is_join(self):
+        events = two_process_events()
+        cut = cut_of_events([events[0][1], events[1][1]])  # e2, f2
+        assert cut.vector.tolist() == [2, 2]
+        assert is_consistent_cut(cut.vector, events)

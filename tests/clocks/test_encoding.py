@@ -1,0 +1,99 @@
+"""Unit + property tests: timestamp compression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import (
+    best_encoding,
+    decode_differential,
+    decode_sparse,
+    encode_differential,
+    encode_sparse,
+    freeze,
+)
+
+vectors = st.lists(st.integers(0, 50), min_size=1, max_size=16).map(freeze)
+
+
+class TestSparse:
+    def test_round_trip_example(self):
+        ts = freeze([0, 5, 0, 0, 2])
+        payload, entries = encode_sparse(ts)
+        assert payload == [(1, 5), (4, 2)]
+        assert entries == 5
+        assert decode_sparse(payload, 5).tolist() == ts.tolist()
+
+    def test_zero_vector_is_one_entry(self):
+        payload, entries = encode_sparse(freeze([0, 0, 0]))
+        assert payload == [] and entries == 1
+
+    @settings(max_examples=150)
+    @given(vectors)
+    def test_round_trip_property(self, ts):
+        payload, entries = encode_sparse(ts)
+        assert decode_sparse(payload, len(ts)).tolist() == ts.tolist()
+        assert entries == 1 + 2 * int(np.count_nonzero(ts))
+
+
+class TestDifferential:
+    def test_unchanged_costs_one_entry(self):
+        ts = freeze([3, 4, 5])
+        payload, entries = encode_differential(ts, ts)
+        assert payload == [] and entries == 1
+        assert decode_differential(payload, ts, 3).tolist() == [3, 4, 5]
+
+    def test_partial_change(self):
+        ref = freeze([3, 4, 5, 6])
+        ts = freeze([3, 9, 5, 7])
+        payload, entries = encode_differential(ts, ref)
+        assert payload == [(1, 9), (3, 7)]
+        assert entries == 5
+        assert decode_differential(payload, ref, 4).tolist() == ts.tolist()
+
+    def test_no_reference_falls_back_to_sparse(self):
+        ts = freeze([0, 2])
+        assert encode_differential(ts, None) == encode_sparse(ts)
+
+    def test_shape_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            encode_differential(freeze([1, 2]), freeze([1, 2, 3]))
+
+    @settings(max_examples=150)
+    @given(vectors, st.data())
+    def test_round_trip_property(self, ref, data):
+        bump = data.draw(
+            st.lists(st.integers(0, 5), min_size=len(ref), max_size=len(ref))
+        )
+        ts = freeze(np.asarray(ref) + bump)
+        payload, _ = encode_differential(ts, ref)
+        assert decode_differential(payload, ref, len(ref)).tolist() == ts.tolist()
+
+
+class TestBestEncoding:
+    def test_picks_raw_for_dense_changes(self):
+        ref = freeze([1] * 8)
+        ts = freeze(range(2, 10))  # every component changed, all non-zero
+        name, entries = best_encoding(ts, ref)
+        assert name == "raw" and entries == 8
+
+    def test_picks_differential_for_localized_change(self):
+        ref = freeze([5] * 16)
+        ts = np.array(ref)
+        ts.setflags(write=True)
+        ts[3] += 1
+        name, entries = best_encoding(freeze(ts), ref)
+        assert name == "differential" and entries == 3
+
+    def test_picks_sparse_early_in_run(self):
+        ts = freeze([0] * 15 + [1])
+        name, entries = best_encoding(ts, None)
+        assert name == "sparse" and entries == 3
+
+    @settings(max_examples=100)
+    @given(vectors)
+    def test_never_worse_than_raw(self, ts):
+        _, entries = best_encoding(ts, None)
+        assert entries <= len(ts)

@@ -1,0 +1,137 @@
+"""Unit tests: vector clocks and timestamp comparisons (Section II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import (
+    VectorClock,
+    freeze,
+    join,
+    meet,
+    vc_concurrent,
+    vc_equal,
+    vc_le,
+    vc_less,
+    vc_not_less,
+)
+
+
+class TestUpdateRules:
+    def test_initial_clock_is_zero(self):
+        clock = VectorClock(3, 0)
+        assert clock.peek().tolist() == [0, 0, 0]
+
+    def test_internal_event_increments_own_component(self):
+        clock = VectorClock(3, 1)
+        ts = clock.tick()
+        assert ts.tolist() == [0, 1, 0]
+        ts = clock.tick()
+        assert ts.tolist() == [0, 2, 0]
+
+    def test_send_increments_then_piggybacks(self):
+        clock = VectorClock(2, 0)
+        ts = clock.send()
+        assert ts.tolist() == [1, 0]
+
+    def test_receive_merges_then_increments(self):
+        sender = VectorClock(3, 0)
+        receiver = VectorClock(3, 2)
+        receiver.tick()  # receiver at [0,0,1]
+        piggyback = sender.send()  # [1,0,0]
+        ts = receiver.receive(piggyback)
+        assert ts.tolist() == [1, 0, 2]
+
+    def test_receive_takes_componentwise_max(self):
+        receiver = VectorClock(3, 1)
+        receiver.tick()
+        receiver.tick()  # [0,2,0]
+        ts = receiver.receive(freeze([5, 1, 3]))
+        assert ts.tolist() == [5, 3, 3]
+
+    def test_receive_rejects_wrong_length(self):
+        clock = VectorClock(3, 0)
+        with pytest.raises(ValueError):
+            clock.receive(freeze([1, 2]))
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            VectorClock(3, 3)
+        with pytest.raises(ValueError):
+            VectorClock(3, -1)
+
+    def test_peek_does_not_advance(self):
+        clock = VectorClock(2, 0)
+        clock.tick()
+        assert clock.peek().tolist() == clock.peek().tolist() == [1, 0]
+
+
+class TestComparisons:
+    def test_happens_before_via_message(self):
+        a = VectorClock(2, 0)
+        b = VectorClock(2, 1)
+        send_ts = a.send()
+        recv_ts = b.receive(send_ts)
+        assert vc_less(send_ts, recv_ts)
+        assert not vc_less(recv_ts, send_ts)
+
+    def test_concurrent_events(self):
+        a = VectorClock(2, 0).tick()
+        b = VectorClock(2, 1).tick()
+        assert vc_concurrent(a, b)
+        assert vc_not_less(a, b) and vc_not_less(b, a)
+
+    def test_less_requires_strict_somewhere(self):
+        u = freeze([1, 2])
+        assert not vc_less(u, u)
+        assert vc_le(u, u)
+        assert vc_equal(u, u)
+
+    def test_less_fails_on_any_greater_component(self):
+        assert not vc_less(freeze([2, 0]), freeze([1, 5]))
+
+    def test_less_examples(self):
+        assert vc_less(freeze([1, 0, 2]), freeze([1, 1, 2]))
+        assert not vc_less(freeze([1, 1, 2]), freeze([1, 0, 2]))
+
+    def test_transitivity_of_local_order(self):
+        clock = VectorClock(4, 2)
+        t1, t2, t3 = clock.tick(), clock.tick(), clock.tick()
+        assert vc_less(t1, t2) and vc_less(t2, t3) and vc_less(t1, t3)
+
+
+class TestLatticeOps:
+    def test_join_componentwise_max(self):
+        assert join(freeze([1, 5, 0]), freeze([2, 3, 0])).tolist() == [2, 5, 0]
+
+    def test_meet_componentwise_min(self):
+        assert meet(freeze([1, 5, 0]), freeze([2, 3, 0])).tolist() == [1, 3, 0]
+
+    def test_join_meet_many(self):
+        ts = [freeze([i, 10 - i]) for i in range(5)]
+        assert join(*ts).tolist() == [4, 10]
+        assert meet(*ts).tolist() == [0, 6]
+
+    def test_join_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            join()
+        with pytest.raises(ValueError):
+            meet()
+
+    def test_join_meet_results_frozen(self):
+        out = join(freeze([1, 2]), freeze([3, 0]))
+        with pytest.raises(ValueError):
+            out[0] = 9
+
+
+class TestFreeze:
+    def test_freeze_copies_and_locks(self):
+        src = np.array([1, 2, 3])
+        ts = freeze(src)
+        src[0] = 99
+        assert ts.tolist() == [1, 2, 3]
+        with pytest.raises(ValueError):
+            ts[0] = 5
+
+    def test_freeze_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            freeze([[1, 2], [3, 4]])

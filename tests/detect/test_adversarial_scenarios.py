@@ -1,0 +1,111 @@
+"""Hand-built adversarial executions for the detection core.
+
+Each scenario targets a specific way repeated detection can go wrong;
+all are validated against the brute-force oracle so the expected counts
+are ground truth, not fixture lore.
+"""
+
+from repro.detect import CentralizedSinkCore, holds_definitely, replay_centralized
+from repro.intervals import overlap
+from repro.workload.scenarios import ScriptedExecution
+
+
+def staircase(n: int, rounds: int) -> ScriptedExecution:
+    """Round-robin staircase: in each round, process i's interval is
+    causally threaded into process i+1's, and the last feeds back to
+    the first in the next round — overlaps chain but never globally."""
+    ex = ScriptedExecution(n)
+    tag = 0
+    for r in range(rounds):
+        for p in range(n):
+            ex.set_pred(p, True)
+            ex.send(p, f"s{tag}")
+            ex.set_pred(p, False)
+            ex.recv((p + 1) % n, f"s{tag}")
+            tag += 1
+    return ex
+
+
+def pulse_all(ex: ScriptedExecution, hub: int = 0) -> None:
+    """One globally-overlapping pulse via gather/broadcast through hub."""
+    n = ex.n
+    others = [p for p in range(n) if p != hub]
+    for p in range(n):
+        ex.set_pred(p, True)
+    for p in others:
+        ex.send(p, f"g{p}")
+    for p in others:
+        ex.recv(hub, f"g{p}")
+    for p in others:
+        ex.send(hub, f"h{p}")
+    ex.set_pred(hub, False)
+    for p in others:
+        ex.recv(p, f"h{p}")
+        ex.set_pred(p, False)
+
+
+class TestStaircase:
+    def test_chained_overlap_is_not_global_overlap(self):
+        ex = staircase(3, rounds=4)
+        assert not holds_definitely(ex.trace.all_intervals())
+        assert replay_centralized(ex.trace, sink=0) == []
+
+    def test_pulse_after_staircase_detected_exactly_once(self):
+        ex = staircase(3, rounds=3)
+        pulse_all(ex)
+        solutions = replay_centralized(ex.trace, sink=0)
+        assert len(solutions) == 1
+        # The solution is the pulse, not staircase leftovers.
+        for interval in solutions[0].heads.values():
+            assert interval.seq == 3  # fourth interval of each process
+
+    def test_no_staircase_backlog_survives_the_pulse(self):
+        """Every staircase interval is eventually proven useless; only
+        pulse intervals that Eq. 10 rightfully retains (non-minimal
+        ``max``, could pair with future successors) may remain."""
+        ex = staircase(3, rounds=3)
+        pulse_all(ex)
+        core = CentralizedSinkCore(0, range(3))
+        for interval in ex.trace.intervals_in_completion_order():
+            core.offer(interval.owner, interval)
+        leftovers = [iv for q in core._core.queues.values() for iv in q]
+        assert len(leftovers) < 3  # Theorem 4: at least one head pruned
+        assert all(iv.seq == 3 for iv in leftovers)  # pulse, not staircase
+
+
+class TestInterleavedPulses:
+    def test_back_to_back_pulses_all_detected(self):
+        ex = ScriptedExecution(4)
+        for _ in range(5):
+            pulse_all(ex, hub=0)
+        solutions = replay_centralized(ex.trace, sink=0)
+        assert len(solutions) == 5
+
+    def test_alternating_hubs(self):
+        """Pulses through different hubs still form clean occurrences."""
+        ex = ScriptedExecution(4)
+        for hub in (0, 3, 1, 2):
+            pulse_all(ex, hub=hub)
+        solutions = replay_centralized(ex.trace, sink=0)
+        assert len(solutions) == 4
+        for solution in solutions:
+            assert overlap(solution.intervals)
+
+
+class TestPartialParticipation:
+    def test_missing_process_blocks_until_it_joins(self):
+        ex = ScriptedExecution(3)
+        # P0 and P1 pulse together twice; P2 sleeps.
+        for _ in range(2):
+            ex.set_pred(0, True)
+            ex.send(0, "a")
+            ex.set_pred(1, True)
+            ex.recv(1, "a")
+            ex.send(1, "b")
+            ex.recv(0, "b")
+            ex.set_pred(0, False)
+            ex.set_pred(1, False)
+        assert replay_centralized(ex.trace, sink=0) == []
+        # Now a full pulse: exactly one global occurrence.
+        pulse_all(ex)
+        assert len(replay_centralized(ex.trace, sink=0)) == 1

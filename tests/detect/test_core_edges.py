@@ -1,0 +1,95 @@
+"""Edge cases of the detection core the main tests don't reach."""
+
+from repro.detect import RepeatedDetectionCore
+from repro.workload.scenarios import ScriptedExecution
+
+from ..conftest import make_interval
+
+
+class TestCascades:
+    def test_one_offer_unlocks_three_solutions(self):
+        """Queue P0 three globally-overlapping interval epochs, then let
+        P1's stream arrive late: the third offer releases a cascade."""
+        ex = ScriptedExecution(2)
+        for k in range(3):
+            # Epoch k: both processes raise, exchange, lower.
+            ex.set_pred(0, True)
+            ex.send(0, f"a{k}")
+            ex.set_pred(1, True)
+            ex.recv(1, f"a{k}")
+            ex.send(1, f"b{k}")
+            ex.recv(0, f"b{k}")
+            ex.set_pred(0, False)
+            ex.set_pred(1, False)
+        ivs = ex.trace.all_intervals()
+        core = RepeatedDetectionCore([0, 1])
+        for interval in ivs[0]:
+            assert core.offer(0, interval) == []
+        total = []
+        for interval in ivs[1]:
+            total.extend(core.offer(1, interval))
+        assert len(total) == 3
+        assert core.stats.detections == 3
+
+    def test_equal_hi_vectors_both_pruned(self):
+        """Aggregated bounds are cuts: equal ``max`` vectors are possible
+        in principle, and the exact Eq. (10) test removes both heads
+        (neither is strictly below the other)."""
+        x = make_interval(0, 0, [1, 1], [3, 3])
+        y = make_interval(1, 0, [1, 1], [3, 3])
+        core = RepeatedDetectionCore([0, 1])
+        core.offer(0, x)
+        solutions = core.offer(1, y)
+        assert len(solutions) == 1
+        assert core.stats.pruned_after_solution == 2
+        assert core.queue_sizes() == {0: 0, 1: 0}
+
+    def test_head_behind_pruned_head_becomes_solution(self):
+        """Pruning an incompatible head exposes the next interval, which
+        immediately completes a solution — the line 16→4 loop-back."""
+        ex = ScriptedExecution(2)
+        # P0's first interval finishes entirely before P1 starts.
+        ex.set_pred(0, True)
+        ex.send(0, "early")
+        ex.set_pred(0, False)
+        # P1 starts knowing P0's first interval completely.
+        ex.recv(1, "early")
+        ex.set_pred(1, True)
+        ex.send(1, "m")
+        # P0's second interval overlaps P1's.
+        ex.set_pred(0, True)
+        ex.recv(0, "m")
+        ex.send(0, "r")
+        ex.set_pred(0, False)
+        ex.recv(1, "r")
+        ex.set_pred(1, False)
+        ivs = ex.trace.all_intervals()
+        assert len(ivs[0]) == 2
+        core = RepeatedDetectionCore([0, 1])
+        core.offer(0, ivs[0][0])
+        core.offer(0, ivs[0][1])
+        solutions = core.offer(1, ivs[1][0])
+        assert len(solutions) == 1
+        assert solutions[0].heads[0].seq == 1  # the second interval won
+        assert core.stats.pruned_incompatible == 1
+
+
+class TestOfferDiscipline:
+    def test_no_detection_attempt_on_deep_enqueue(self):
+        """Offers onto a non-empty queue must not re-run detection
+        (Algorithm 1 line 2) — count comparisons to prove it."""
+        core = RepeatedDetectionCore([0, 1])
+        core.offer(0, make_interval(0, 0, [1, 0], [2, 0]))
+        before = core.stats.comparisons
+        core.offer(0, make_interval(0, 1, [3, 0], [4, 0]))
+        core.offer(0, make_interval(0, 2, [5, 0], [6, 0]))
+        assert core.stats.comparisons == before
+
+    def test_halted_core_ignores_queue_removal(self):
+        core = RepeatedDetectionCore([0, 1], repeated=False)
+        # An overlapping pair halts the one-shot core...
+        core.offer(1, make_interval(1, 0, [0, 1], [2, 3]))
+        core.offer(0, make_interval(0, 0, [1, 0], [3, 2]))
+        assert core.halted
+        # ... after which structural changes unlock nothing.
+        assert core.remove_queue(1) == []

@@ -1,0 +1,53 @@
+"""Integration tests: the Possibly(Φ) sink role in full simulations."""
+
+from repro.detect import lattice_possibly
+from repro.experiments import run_possibly
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+
+class TestPossiblyRole:
+    def test_detects_on_concurrent_intervals(self):
+        # Even all-defector epochs give Possibly: intervals just need to
+        # be mutually non-ordered, not causally overlapping.
+        result = run_possibly(
+            SpanningTree.regular(2, 3),
+            seed=1,
+            config=EpochConfig(epochs=4, sync_prob=0.0, defect_frac=0.5),
+        )
+        assert len(result.detections) == 1
+        assert lattice_possibly(result.trace)
+
+    def test_one_shot_semantics(self):
+        result = run_possibly(
+            SpanningTree.regular(2, 3),
+            seed=2,
+            config=EpochConfig(epochs=6, sync_prob=1.0),
+        )
+        assert len(result.detections) == 1  # halts after the first
+
+    def test_detection_logged(self):
+        result = run_possibly(
+            SpanningTree.regular(2, 2),
+            seed=3,
+            config=EpochConfig(epochs=3, sync_prob=1.0),
+        )
+        assert result.sim.log.of_kind("possibly_detection")
+
+    def test_no_detection_without_intervals(self):
+        result = run_possibly(
+            SpanningTree.regular(2, 2), seed=1, config=EpochConfig(epochs=0)
+        )
+        assert result.detections == []
+
+    def test_solution_is_weakly_consistent(self):
+        from repro.intervals import possibly
+
+        result = run_possibly(
+            SpanningTree.regular(2, 3),
+            seed=4,
+            config=EpochConfig(epochs=4, sync_prob=0.5),
+        )
+        (record,) = result.detections
+        assert possibly(record.solution.intervals)
+        assert record.members == frozenset(range(7))

@@ -1,0 +1,128 @@
+"""The paper's Figures 1–3 as executable claims (Section III-A/B)."""
+
+from repro.clocks import vc_less
+from repro.detect import holds_definitely, lattice_definitely
+from repro.detect.offline import replay_centralized, replay_hierarchical
+from repro.detect.hierarchical import EmissionKind
+from repro.intervals import overlap, overlap_pair
+from repro.topology import SpanningTree
+from repro.workload.scenarios import (
+    figure1_staggered_execution,
+    figure2_execution,
+    figure2_tree,
+    figure3_execution,
+)
+
+
+class TestFigure1:
+    """A Definitely solution set need not be nested (claim against [7])."""
+
+    def test_solution_is_staggered_not_nested(self):
+        ex = figure1_staggered_execution()
+        x1 = ex.intervals()[0][0]
+        x2 = ex.intervals()[1][0]
+        assert overlap_pair(x1, x2)
+        # Staggered: min(x1) ≺ min(x2) AND max(x1) ≺ max(x2) ...
+        assert vc_less(x1.lo, x2.lo)
+        assert vc_less(x1.hi, x2.hi)
+        # ... whereas the nesting of Figure 1 would need max(x2) ≺ max(x1).
+        assert not vc_less(x2.hi, x1.hi)
+
+    def test_definitely_holds(self):
+        ex = figure1_staggered_execution()
+        assert holds_definitely(ex.intervals())
+        assert lattice_definitely(ex.trace)
+
+
+class TestFigure2Claims:
+    def test_interval_relations_as_stated(self):
+        ivs = figure2_execution().intervals()
+        x1, x2, x3 = ivs[0][0], ivs[1][0], ivs[1][1]
+        x4, x5 = ivs[2][0], ivs[3][0]
+        assert overlap([x1, x2])
+        assert overlap([x1, x3])
+        assert not overlap([x1, x2, x4, x5])
+        assert overlap([x1, x3, x4, x5])
+
+    def test_hierarchy_detects_global_occurrence(self):
+        """Replaying the hierarchy of Figure 2(a): P3 (=2) detects the
+        predicate for all four processes."""
+        spec = figure2_tree()
+        tree = SpanningTree(spec["root"], spec["parent"])
+        trace = figure2_execution().trace
+        emissions = replay_hierarchical(trace, tree)
+        detections = [
+            e for e in emissions[2] if e.kind is EmissionKind.DETECTION
+        ]
+        assert len(detections) == 1
+        leaves = {
+            (iv.owner, iv.seq) for iv in detections[0].aggregate.concrete_leaves()
+        }
+        assert leaves == {(0, 0), (1, 1), (2, 0), (3, 0)}
+
+    def test_p2_reports_both_occurrences(self):
+        """Repeated detection at the intermediate level is what makes
+        the global detection possible (the paper's central argument)."""
+        spec = figure2_tree()
+        tree = SpanningTree(spec["root"], spec["parent"])
+        trace = figure2_execution().trace
+        emissions = replay_hierarchical(trace, tree)
+        reports = [e for e in emissions[1] if e.kind is EmissionKind.REPORT]
+        assert len(reports) == 2
+
+    def test_one_shot_at_p2_would_lose_the_global_occurrence(self):
+        """If P2 ran a one-shot detector it would only ever report
+        {x1, x2}, and {agg(x1,x2), x4, x5} does not overlap — exactly
+        the failure mode of the approach in [7]."""
+        from repro.intervals import aggregate
+
+        ivs = figure2_execution().intervals()
+        x1, x2 = ivs[0][0], ivs[1][0]
+        x4, x5 = ivs[2][0], ivs[3][0]
+        only_report = aggregate([x1, x2], owner=1, seq=0)
+        assert not overlap([only_report, x4, x5])
+
+    def test_centralized_agrees_with_hierarchy(self):
+        trace = figure2_execution().trace
+        assert len(replay_centralized(trace, sink=2)) == 1
+
+    def test_failure_of_p3_partial_predicate_survives(self):
+        """Figure 2(c): after P3 (=2) fails, the reconnected tree rooted
+        at P4 (=3) still detects the predicate over {P1, P2, P4}."""
+        trace = figure2_execution().trace
+        # Reconnected tree: P4 root, P2 its child, P1 below P2.
+        tree = SpanningTree(3, {3: None, 1: 3, 0: 1})
+        emissions = replay_hierarchical(trace, tree)
+        detections = [
+            e for e in emissions[3] if e.kind is EmissionKind.DETECTION
+        ]
+        assert len(detections) >= 1
+        members = detections[0].aggregate.members
+        assert members == frozenset({0, 1, 3})
+
+
+class TestFigure3Claims:
+    def test_all_intervals_overlap(self):
+        ivs = figure3_execution().intervals()
+        assert overlap([ivs[p][0] for p in range(4)])
+
+    def test_definitely_via_all_oracles(self):
+        ex = figure3_execution()
+        assert holds_definitely(ex.intervals())
+        assert lattice_definitely(ex.trace)
+        assert len(replay_centralized(ex.trace, sink=0)) == 1
+
+
+class TestFigure1Nested:
+    """The nested special case the approach in [7] *can* handle."""
+
+    def test_nested_relations(self):
+        from repro.workload import figure1_nested_execution
+
+        ex = figure1_nested_execution()
+        x1 = ex.intervals()[0][0]
+        x2 = ex.intervals()[1][0]
+        assert overlap_pair(x1, x2)
+        assert vc_less(x1.lo, x2.lo)  # min(x1) ≺ min(x2)
+        assert vc_less(x2.hi, x1.hi)  # max(x2) ≺ max(x1): nested
+        assert lattice_definitely(ex.trace)

@@ -1,0 +1,120 @@
+"""Unit + integration tests: the token-based distributed detector."""
+
+import pytest
+
+from repro.detect import OneShotDefinitelyCore, TokenDefinitelyDetector
+from repro.experiments import run_token
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig, figure2_execution, figure3_execution
+
+from ..conftest import make_interval, random_execution
+
+
+def replay_token(trace, **kwargs):
+    detector = TokenDefinitelyDetector(range(trace.n), **kwargs)
+    detector.start()
+    for interval in trace.intervals_in_completion_order():
+        detector.offer(interval.owner, interval)
+    return detector
+
+
+def solution_key(solution):
+    if solution is None:
+        return None
+    return tuple(sorted((iv.owner, iv.seq) for iv in solution.heads.values()))
+
+
+class TestPureEngine:
+    def test_figure3_detects_the_occurrence(self):
+        detector = replay_token(figure3_execution().trace)
+        assert detector.detection is not None
+        assert solution_key(detector.detection) == ((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_figure2_matches_one_shot_reference(self):
+        trace = figure2_execution().trace
+        detector = replay_token(trace)
+        reference = OneShotDefinitelyCore(0, range(4))
+        for interval in trace.intervals_in_completion_order():
+            reference.offer(interval.owner, interval)
+        assert solution_key(detector.detection) == solution_key(reference.detection)
+
+    def test_one_shot_halts(self):
+        detector = replay_token(figure3_execution().trace)
+        assert detector.halted
+        assert detector.offer(0, make_interval(0, 5, [9, 0, 0, 0], [9, 0, 0, 0])) is None
+        assert detector.stats.detections == 1
+
+    def test_parks_until_every_process_contributes(self):
+        detector = TokenDefinitelyDetector([0, 1])
+        detector.start()
+        ivs = figure3_execution().intervals()
+        assert detector.offer(0, ivs[0][0]) is None  # still owes P1
+        assert not detector.halted
+        assert detector.offer(1, ivs[1][0]) is not None
+
+    def test_queue_placement_is_local(self):
+        """The defining property vs the sink: intervals are stored at
+        their owners."""
+        detector = TokenDefinitelyDetector([0, 1, 2])
+        ivs = figure3_execution().intervals()
+        detector.offer(1, ivs[1][0])  # no token started: pure storage
+        assert len(detector.queues[1]) == 1
+        assert len(detector.queues[0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenDefinitelyDetector([])
+        with pytest.raises(ValueError):
+            TokenDefinitelyDetector([0, 1], start_at=9)
+
+    def test_agrees_with_centralized_one_shot_on_random_traces(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(2, 5))
+            trace = random_execution(n, int(rng.integers(5, 35)), rng).trace
+            token = replay_token(trace)
+            reference = OneShotDefinitelyCore(0, range(n))
+            for interval in trace.intervals_in_completion_order():
+                reference.offer(interval.owner, interval)
+            assert solution_key(token.detection) == solution_key(reference.detection)
+
+    def test_hop_accounting(self):
+        detector = replay_token(figure3_execution().trace)
+        assert detector.token.hops == len(detector.moves) - 1
+
+
+class TestSimulatedToken:
+    def test_detects_same_set_as_offline_reference(self):
+        tree = SpanningTree.regular(2, 3)
+        result = run_token(tree, seed=4, config=EpochConfig(epochs=5, sync_prob=0.8))
+        assert len(result.detections) == 1
+        reference = OneShotDefinitelyCore(0, range(tree.n))
+        for interval in result.trace.intervals_in_completion_order():
+            reference.offer(interval.owner, interval)
+        assert solution_key(result.detections[0].solution) == solution_key(
+            reference.detection
+        )
+
+    def test_token_traffic_is_tiny(self):
+        """No interval ever travels: control traffic is a handful of
+        token hops, far below even the hierarchical report bill."""
+        from repro.experiments import run_hierarchical
+
+        config = EpochConfig(epochs=5, sync_prob=0.8)
+        token = run_token(SpanningTree.regular(2, 3), seed=4, config=config)
+        hier = run_hierarchical(SpanningTree.regular(2, 3), seed=4, config=config)
+        assert 0 < token.metrics.control_messages < hier.metrics.control_messages
+
+    def test_queues_stay_at_owners(self):
+        result = run_token(
+            SpanningTree.regular(2, 3), seed=4, config=EpochConfig(epochs=6)
+        )
+        # Every node holds only its own intervals: peak queue <= p.
+        assert result.metrics.max_queue_per_node <= 6
+
+    def test_never_detects_when_some_process_never_true(self):
+        # sync_prob can't help a process that defects every epoch; use
+        # epochs=0 for a trivially empty workload instead.
+        result = run_token(
+            SpanningTree.regular(2, 2), seed=1, config=EpochConfig(epochs=0)
+        )
+        assert result.detections == []

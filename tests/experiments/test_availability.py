@@ -1,0 +1,37 @@
+"""Integration tests: monitoring availability under crashes."""
+
+from repro.experiments import availability_sweep, format_availability
+from repro.experiments.cli import main as cli_main
+
+
+class TestAvailability:
+    def test_monitoring_survives_every_failure_count(self):
+        points = availability_sweep(
+            d=2, h=3, epochs=12, failure_counts=(0, 1, 2), seed=21
+        )
+        baseline = points[0]
+        assert baseline.detections == 12  # fully synced: one per epoch
+        for pt in points[1:]:
+            # Crashes cost at most a couple of epochs of blackout each,
+            # never the rest of the run.
+            assert pt.post_failure_detections > 0
+            assert pt.detections >= baseline.detections - 3 * pt.failures
+            # Every announcement covers all live processes.
+            assert pt.mean_coverage > 0.95
+
+    def test_blackout_bounded_by_repair_time(self):
+        points = availability_sweep(
+            d=2, h=3, epochs=12, failure_counts=(1,), seed=23
+        )
+        (pt,) = points
+        # Heartbeat timeout (16) + repair latency (2) + an epoch or two:
+        # the blackout must be bounded, not the tail of the run.
+        assert pt.longest_blackout < 80.0
+
+    def test_rendering_and_cli(self, capsys):
+        text = format_availability(
+            availability_sweep(d=2, h=3, epochs=8, failure_counts=(0, 1), seed=2)
+        )
+        assert "longest blackout" in text
+        assert cli_main(["availability", "--seed", "2"]) == 0
+        assert "availability" in capsys.readouterr().out

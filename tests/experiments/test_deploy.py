@@ -1,0 +1,57 @@
+"""Integration tests: the zero-assumptions deployment runner."""
+
+import networkx as nx
+import pytest
+
+from repro.detect import replay_centralized
+from repro.experiments import run_zero_assumptions
+from repro.intervals import overlap
+from repro.topology import random_geometric_topology
+from repro.workload import EpochConfig
+
+
+class TestZeroAssumptions:
+    def test_healthy_run_detects_every_epoch(self):
+        graph = random_geometric_topology(15, seed=6)
+        result = run_zero_assumptions(
+            graph, seed=6, config=EpochConfig(epochs=5, sync_prob=1.0)
+        )
+        assert result.metrics.root_detections == 5
+        # The tree was really built by the protocol over this graph.
+        for node, parent in result.tree.parent.items():
+            if parent is not None:
+                assert graph.has_edge(node, parent)
+
+    def test_failure_self_heals(self):
+        graph = random_geometric_topology(20, seed=4)
+        result = run_zero_assumptions(
+            graph, seed=4,
+            config=EpochConfig(epochs=8, sync_prob=1.0, drain_time=90.0),
+            failures=[(60.0, 3)],
+        )
+        survivors = frozenset(p for p in range(20) if p != 3)
+        late = [d for d in result.detections if d.members == survivors]
+        assert late, "monitoring must continue over the survivors"
+        for record in result.detections:
+            assert overlap(list(record.aggregate.concrete_leaves()))
+        # No oracle was involved.
+        assert all(role.coordinator is None for role in result.roles.values())
+        assert result.sim.log.of_kind("tree_built")
+
+    def test_detections_match_offline_reference(self):
+        graph = random_geometric_topology(12, seed=8)
+        result = run_zero_assumptions(
+            graph, seed=8, config=EpochConfig(epochs=6, sync_prob=0.7)
+        )
+        reference = replay_centralized(result.trace, sink=result.tree.root)
+        assert result.metrics.root_detections == len(reference)
+
+    def test_deterministic(self):
+        def run():
+            graph = random_geometric_topology(12, seed=2)
+            result = run_zero_assumptions(
+                graph, seed=2, config=EpochConfig(epochs=4, sync_prob=1.0)
+            )
+            return [round(d.time, 6) for d in result.detections]
+
+        assert run() == run()

@@ -1,0 +1,42 @@
+"""Integration tests: detection-latency measurement."""
+
+from repro.experiments import (
+    detection_latencies,
+    format_latency,
+    latency_sweep,
+    run_hierarchical,
+)
+from repro.experiments.cli import main as cli_main
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+
+class TestDetectionLatencies:
+    def test_latencies_positive_and_bounded(self):
+        result = run_hierarchical(
+            SpanningTree.regular(2, 3),
+            seed=29,
+            config=EpochConfig(epochs=6, sync_prob=1.0),
+        )
+        latencies = detection_latencies(result)
+        assert len(latencies) == 6
+        # Causality: an occurrence cannot be announced before it exists.
+        assert all(lat > 0 for lat in latencies)
+        # ... and the pipeline is a few hops, not a few epochs.
+        assert all(lat < 20.0 for lat in latencies)
+
+    def test_latency_grows_with_height(self):
+        points = latency_sweep(d=2, heights=(3, 5), p=6, seed=29)
+        assert points[0].hier_mean < points[1].hier_mean
+        assert points[0].cent_mean < points[1].cent_mean
+
+    def test_both_algorithms_comparable(self):
+        for pt in latency_sweep(d=2, heights=(3, 4), p=6, seed=29):
+            assert pt.hier_mean < 2.0 * pt.cent_mean
+            assert pt.cent_mean < 2.0 * pt.hier_mean
+
+    def test_rendering_and_cli(self, capsys):
+        text = format_latency(latency_sweep(d=2, heights=(3,), p=4, seed=1))
+        assert "hier mean" in text
+        assert cli_main(["latency", "--seed", "1"]) == 0
+        assert "latency" in capsys.readouterr().out.lower()

@@ -1,0 +1,36 @@
+"""Integration tests: per-level message structure (Eq. 11's anatomy)."""
+
+from repro.experiments import format_levels, level_breakdown
+
+
+class TestLevelBreakdown:
+    def test_leaf_level_is_exact(self):
+        """Level 1 forwards every local interval: count == leaves × p,
+        with no dependence on α — the paper's base case, exactly."""
+        rows = {r.level: r for r in level_breakdown(d=2, h=4, p=12, seed=31)}
+        assert rows[1].nodes == 8
+        assert rows[1].reports_sent == 8 * 12
+        assert rows[1].paper_model == 8 * 12
+
+    def test_reports_thin_out_going_up(self):
+        rows = level_breakdown(d=2, h=4, p=12, seed=31)
+        counts = [r.reports_sent for r in sorted(rows, key=lambda r: r.level)]
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+
+    def test_per_node_emission_bounded_by_input_stream(self):
+        """The structural correction: a level-i node cannot emit more
+        aggregates than its weakest input stream delivers (p at most)."""
+        for d, h in ((2, 4), (3, 3)):
+            rows = {r.level: r for r in level_breakdown(d=d, h=h, p=10, seed=5)}
+            for level, row in rows.items():
+                assert row.reports_sent <= row.nodes * 10
+
+    def test_level_counts_match_tree_structure(self):
+        rows = {r.level: r for r in level_breakdown(d=3, h=3, p=6, seed=2)}
+        assert rows[1].nodes == 9
+        assert rows[2].nodes == 3
+        assert rows[3].nodes == 1
+
+    def test_rendering(self):
+        text = format_levels(level_breakdown(d=2, h=3, p=5, seed=1))
+        assert "paper model" in text and "reports sent" in text

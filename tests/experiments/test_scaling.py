@@ -1,0 +1,41 @@
+"""Integration tests: the Table I empirical-scaling experiment."""
+
+import math
+
+from repro.experiments import growth_slopes, scaling_sweep
+from repro.experiments.cli import main as cli_main
+
+
+class TestScalingSweep:
+    def test_sink_work_outgrows_hierarchical_node_work(self):
+        points = scaling_sweep(d=2, heights=(3, 4, 5), p=8, seed=13)
+        assert [pt.n for pt in points] == [7, 15, 31]
+        for pt in points:
+            assert pt.cent_cmp_max_node > pt.hier_cmp_max_node
+            assert pt.cent_space_max_node >= pt.hier_space_max_node
+        # The gap widens with n.
+        ratios = [pt.cent_cmp_max_node / pt.hier_cmp_max_node for pt in points]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_growth_exponents_separate(self):
+        points = scaling_sweep(d=2, heights=(3, 4, 5), p=8, seed=13)
+        cent = growth_slopes(points, "cent_cmp_max_node")
+        hier = growth_slopes(points, "hier_cmp_max_node")
+        # Sink work grows clearly superlinearly in n; the busiest
+        # hierarchical node's work is essentially size-independent.
+        assert all(s > 1.2 for s in cent)
+        assert all(s < 0.8 for s in hier)
+
+    def test_growth_slopes_handles_zero(self):
+        points = scaling_sweep(d=2, heights=(3, 4), p=4, seed=13)
+        points[0].hier_cmp_total = 0
+        slopes = growth_slopes(points, "hier_cmp_total")
+        assert math.isnan(slopes[0])
+
+
+class TestCli:
+    def test_scaling_subcommand(self, capsys):
+        assert cli_main(["scaling", "--p", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "growth exponents" in out
+        assert "cmp max/node hier" in out

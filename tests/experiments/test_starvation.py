@@ -1,0 +1,40 @@
+"""Integration tests: queue behaviour under starvation."""
+
+from repro.experiments import format_starvation, starvation_comparison
+
+
+class TestStarvation:
+    def test_neither_algorithm_detects(self):
+        hier, cent = starvation_comparison(p=12, seed=2)
+        assert hier.detections == cent.detections == 0
+
+    def test_starved_parent_prunes_but_ancestors_block(self):
+        hier, cent = starvation_comparison(p=12, seed=2)
+        # The defector's parent churns via cross-epoch pruning...
+        assert hier.starved_parent_queue <= 3
+        # ... while a blocked ancestor accumulates up to p per queue
+        # (two queues here: its live child + its own local stream).
+        assert hier.blocked_ancestor_queue >= 12
+        assert hier.blocked_ancestor_queue <= 2 * 12
+
+    def test_per_queue_backlog_bounded_by_p(self):
+        """The paper's per-queue O(p) space bound holds even in the
+        worst (indefinitely starved) case."""
+        for p in (8, 16):
+            hier, _ = starvation_comparison(p=p, seed=2)
+            # peak accounting sums per-queue peaks over <=3 queues/node
+            assert hier.max_queue_any_node <= 3 * p
+
+    def test_sink_churns_at_constant_size(self):
+        hier, cent = starvation_comparison(p=20, seed=2)
+        # 15 queues yet bounded total: cross-epoch pruning keeps the
+        # sink's backlog O(n), not O(p·n).
+        assert cent.max_queue_any_node <= 16
+
+    def test_hierarchical_still_cheaper_in_messages(self):
+        hier, cent = starvation_comparison(p=12, seed=2)
+        assert hier.control_messages < cent.control_messages
+
+    def test_rendering(self):
+        text = format_starvation(starvation_comparison(p=8, seed=2))
+        assert "starved parent" in text

@@ -1,0 +1,94 @@
+"""Integration tests: the message-driven (oracle-free) repair protocol."""
+
+from repro.fault.discovery import SelfHealingRole
+from repro.fault.injector import FailureInjector
+from repro.intervals import overlap
+from repro.sim import ExecutionTrace, Network, Simulator, uniform_delay
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig, EpochProcess, EpochWorkload
+
+
+def run_self_healing(
+    *, d=2, h=4, extra_edges=14, graph_seed=3, sim_seed=5,
+    epochs=14, failures=(), drain=100.0,
+):
+    tree = SpanningTree.regular(d, h)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=extra_edges, seed=graph_seed)
+    sim = Simulator(seed=sim_seed)
+    net = Network(sim, graph, uniform_delay(0.5, 1.5))
+    trace = ExecutionTrace(tree.n)
+    roles = {
+        pid: SelfHealingRole(
+            tree.parent_of(pid), tree.children(pid),
+            heartbeat=(5.0, 16.0), collect_window=15.0,
+        )
+        for pid in tree.nodes
+    }
+    processes = {
+        pid: EpochProcess(pid, sim, net, trace, roles[pid], tree)
+        for pid in tree.nodes
+    }
+    config = EpochConfig(epochs=epochs, sync_prob=1.0, drain_time=drain)
+    workload = EpochWorkload(sim, processes, tree, config, max_delay=1.5)
+    workload.install()
+    injector = FailureInjector(sim, processes)
+    for time, pid in failures:
+        injector.crash_at(time, pid)
+    for p in processes.values():
+        p.start()
+    sim.run(until=workload.end_time + 60.0)
+    detections = sorted(
+        (d for r in roles.values() for d in r.detections), key=lambda d: d.time
+    )
+    return sim, tree, roles, detections
+
+
+class TestSelfHealingRepair:
+    def test_interior_failure_repairs_without_oracle(self):
+        sim, tree, roles, detections = run_self_healing(failures=[(80.0, 1)])
+        survivors = frozenset(n for n in range(15) if n != 1)
+        late = [d for d in detections if d.time > 130.0]
+        assert late, "detection must resume after message-driven repair"
+        assert all(d.members == survivors for d in late)
+        # Both orphan subtrees reattached via the protocol.
+        attached = {r.node for r in sim.log.of_kind("repair_attached")}
+        assert attached == {3, 4}
+        # And the repair used only messages: no coordinator exists.
+        assert all(role.coordinator is None for role in roles.values())
+
+    def test_leaf_failure_needs_no_repair_protocol(self):
+        sim, tree, roles, detections = run_self_healing(failures=[(80.0, 14)])
+        late = [d for d in detections if d.time > 130.0]
+        assert late
+        assert all(len(d.members) == 14 for d in late)
+        assert not sim.log.of_kind("repair_probe")  # only the parent reacts
+
+    def test_safety_through_protocol_repair(self):
+        sim, tree, roles, detections = run_self_healing(failures=[(80.0, 2)])
+        for record in detections:
+            leaves = list(record.aggregate.concrete_leaves())
+            assert overlap(leaves)
+            assert {iv.owner for iv in leaves} == set(record.members)
+
+    def test_partition_when_no_spare_links(self):
+        sim, tree, roles, detections = run_self_healing(
+            d=2, h=3, extra_edges=0, failures=[(80.0, 1)], epochs=12
+        )
+        partitioned = {r.node for r in sim.log.of_kind("repair_partitioned")}
+        assert partitioned == {3, 4}
+        # Each partition keeps monitoring its own partial predicate.
+        late_members = {d.members for d in detections if d.time > 130.0}
+        assert frozenset({3}) in late_members
+        assert frozenset({4}) in late_members
+
+    def test_healthy_run_never_triggers_repair(self):
+        sim, tree, roles, detections = run_self_healing(epochs=8, failures=())
+        assert not sim.log.of_kind("repair_probe")
+        assert len(detections) == 8
+
+    def test_deterministic(self):
+        def signature():
+            sim, tree, roles, detections = run_self_healing(failures=[(80.0, 1)])
+            return [(round(d.time, 6), d.detector, len(d.members)) for d in detections]
+
+        assert signature() == signature()

@@ -1,0 +1,91 @@
+"""Unit tests: heartbeat-based failure detection."""
+
+import networkx as nx
+import pytest
+
+from repro.fault import HeartbeatMonitor
+from repro.sim import Heartbeat, Network, Simulator, uniform_delay
+
+
+def make_monitors(n=2, period=2.0, timeout=7.0):
+    sim = Simulator(seed=1)
+    net = Network(sim, nx.complete_graph(n), uniform_delay(0.1, 0.3))
+    monitors = {}
+    suspects = {pid: [] for pid in range(n)}
+
+    for pid in range(n):
+        def send(dst, msg, src=pid):
+            net.send(src, dst, msg, plane="control")
+
+        monitors[pid] = HeartbeatMonitor(
+            sim, pid, send, suspects[pid].append, period=period, timeout=timeout
+        )
+
+    for pid in range(n):
+        def handler(src, msg, plane, me=pid):
+            if isinstance(msg, Heartbeat):
+                monitors[me].beat_from(msg.sender)
+
+        net.attach(pid, handler)
+    return sim, net, monitors, suspects
+
+
+class TestHeartbeats:
+    def test_live_peers_never_suspected(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].add_peer(1)
+        monitors[1].add_peer(0)
+        monitors[0].start()
+        monitors[1].start()
+        sim.run(until=60.0)
+        assert suspects[0] == [] and suspects[1] == []
+
+    def test_crashed_peer_suspected_within_timeout(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].add_peer(1)
+        monitors[1].add_peer(0)
+        monitors[0].start()
+        monitors[1].start()
+        sim.schedule_at(20.0, lambda: net.fail(1))
+        sim.run(until=60.0)
+        assert suspects[0] == [1]
+        assert monitors[0].is_suspected(1)
+
+    def test_suspicion_fires_once(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].add_peer(1)
+        monitors[0].start()  # peer 1 never answers (no monitor started)
+        sim.run(until=100.0)
+        assert suspects[0] == [1]
+
+    def test_removed_peer_not_suspected(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].add_peer(1)
+        monitors[0].start()
+        sim.schedule_at(3.0, lambda: monitors[0].remove_peer(1))
+        sim.run(until=60.0)
+        assert suspects[0] == []
+
+    def test_added_peer_gets_grace_period(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].start()
+        monitors[1].add_peer(0)
+        monitors[1].start()
+        # Add peer late: last_seen initialized to "now", not 0.
+        sim.schedule_at(30.0, lambda: monitors[0].add_peer(1))
+        sim.run(until=33.0)
+        assert suspects[0] == []
+
+    def test_timeout_must_exceed_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(sim, 0, lambda d, m: None, lambda p: None,
+                             period=5.0, timeout=5.0)
+
+    def test_stop_halts_ticks(self):
+        sim, net, monitors, suspects = make_monitors()
+        monitors[0].add_peer(1)
+        monitors[0].start()
+        monitors[0].stop()
+        sim.run(until=60.0)
+        assert suspects[0] == []

@@ -1,0 +1,61 @@
+"""Unit tests: crash injection."""
+
+import networkx as nx
+import pytest
+
+from repro.fault import FailureInjector
+from repro.sim import ExecutionTrace, MonitoredProcess, Network, Simulator
+
+
+def make_system(n=3):
+    sim = Simulator(seed=0)
+    net = Network(sim, nx.complete_graph(n))
+    trace = ExecutionTrace(n)
+    processes = {pid: MonitoredProcess(pid, sim, net, trace) for pid in range(n)}
+    return sim, net, processes
+
+
+class TestInjector:
+    def test_crash_at_time(self):
+        sim, net, processes = make_system()
+        injector = FailureInjector(sim, processes)
+        injector.crash_at(5.0, 1)
+        sim.run()
+        assert not processes[1].alive
+        assert not net.is_alive(1)
+        assert injector.crashed == [(5.0, 1)]
+
+    def test_crash_unknown_pid(self):
+        sim, net, processes = make_system()
+        injector = FailureInjector(sim, processes)
+        with pytest.raises(KeyError):
+            injector.crash_at(1.0, 99)
+
+    def test_crash_random_excludes(self):
+        sim, net, processes = make_system()
+        injector = FailureInjector(sim, processes)
+        pid = injector.crash_random(1.0, exclude=(0, 2))
+        assert pid == 1
+
+    def test_crash_random_deterministic(self):
+        pids = set()
+        for _ in range(3):
+            sim, net, processes = make_system()
+            injector = FailureInjector(sim, processes)
+            pids.add(injector.crash_random(1.0))
+        assert len(pids) == 1  # same seed, same victim
+
+    def test_double_crash_recorded_once(self):
+        sim, net, processes = make_system()
+        injector = FailureInjector(sim, processes)
+        injector.crash_at(1.0, 1)
+        injector.crash_at(2.0, 1)
+        sim.run()
+        assert injector.crashed == [(1.0, 1)]
+
+    def test_no_live_candidates(self):
+        sim, net, processes = make_system(1)
+        processes[0].crash()
+        injector = FailureInjector(sim, processes)
+        with pytest.raises(RuntimeError):
+            injector.crash_random(1.0)

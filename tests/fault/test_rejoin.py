@@ -1,0 +1,96 @@
+"""Integration tests: node recovery (crash, then rejoin)."""
+
+import pytest
+
+from repro.experiments import run_hierarchical
+from repro.intervals import overlap
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig
+
+
+def setup(extra=8, seed=1):
+    tree = SpanningTree.regular(2, 3)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=extra, seed=seed)
+    return tree, graph
+
+
+LONG = EpochConfig(epochs=20, sync_prob=1.0, drain_time=120.0)
+
+
+class TestRejoin:
+    def test_membership_recovers(self):
+        tree, graph = setup()
+        result = run_hierarchical(
+            tree, graph=graph, seed=1, config=LONG,
+            failures=[(80.0, 5)], revivals=[(200.0, 5)],
+        )
+        sizes = [len(d.members) for d in result.detections]
+        assert 7 in sizes and 6 in sizes
+        # After the rejoin the full predicate is monitored again.
+        late = [d for d in result.detections if d.time > 220.0]
+        assert late
+        assert all(d.members == frozenset(range(7)) for d in late)
+
+    def test_rejoined_node_is_a_leaf(self):
+        tree, graph = setup()
+        result = run_hierarchical(
+            tree, graph=graph, seed=1, config=LONG,
+            failures=[(80.0, 5)], revivals=[(200.0, 5)],
+        )
+        assert 5 in result.tree.parent
+        assert result.tree.is_leaf(5)
+        assert result.tree.parent_of(5) is not None
+
+    def test_interior_node_rejoins_as_leaf(self):
+        tree, graph = setup(extra=12, seed=3)
+        result = run_hierarchical(
+            tree, graph=graph, seed=2, config=LONG,
+            failures=[(80.0, 1)], revivals=[(200.0, 1)],
+        )
+        late = [d for d in result.detections if d.time > 230.0]
+        assert late
+        assert all(d.members == frozenset(range(7)) for d in late)
+        assert result.tree.is_leaf(1)  # former interior node, now a leaf
+
+    def test_solutions_stay_safe_across_recovery(self):
+        tree, graph = setup(extra=12, seed=5)
+        result = run_hierarchical(
+            tree, graph=graph, seed=3, config=LONG,
+            failures=[(80.0, 2)], revivals=[(190.0, 2)],
+        )
+        for record in result.detections:
+            leaves = list(record.aggregate.concrete_leaves())
+            assert overlap(leaves)
+            assert {iv.owner for iv in leaves} == set(record.members)
+
+    def test_crash_again_after_rejoin(self):
+        tree, graph = setup(extra=10, seed=7)
+        result = run_hierarchical(
+            tree, graph=graph, seed=4,
+            config=EpochConfig(epochs=26, sync_prob=1.0, drain_time=140.0),
+            failures=[(80.0, 5), (300.0, 5)],
+            revivals=[(190.0, 5)],
+        )
+        sizes = [len(d.members) for d in result.detections]
+        # full -> partial -> full -> partial again
+        assert sizes[0] == 7
+        assert 6 in sizes
+        last = [d for d in result.detections if d.time > 330.0]
+        assert last and all(len(d.members) == 6 for d in last)
+
+    def test_rejoin_of_live_node_rejected(self):
+        from repro.fault import RejoinManager
+        from repro.fault.coordinator import RepairCoordinator
+        from repro.sim import ExecutionTrace, MonitoredProcess, Network, Simulator
+
+        tree, graph = setup()
+        sim = Simulator()
+        net = Network(sim, graph)
+        trace = ExecutionTrace(tree.n)
+        processes = {
+            pid: MonitoredProcess(pid, sim, net, trace) for pid in tree.nodes
+        }
+        coordinator = RepairCoordinator(sim, tree, graph, {}, is_alive=net.is_alive)
+        manager = RejoinManager(coordinator, processes)
+        with pytest.raises(RuntimeError):
+            manager.rejoin(3)

@@ -1,0 +1,137 @@
+"""Integration: node failures, tree repair, and partial-predicate
+detection (Section III-F) in full simulations."""
+
+from repro.experiments.harness import run_centralized, run_hierarchical
+from repro.intervals import overlap
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig
+
+
+def chordful_tree(d, h, extra=10, seed=0):
+    tree = SpanningTree.regular(d, h)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=extra, seed=seed)
+    return tree, graph
+
+
+LONG = EpochConfig(epochs=12, sync_prob=1.0, drain_time=80.0)
+
+
+class TestLeafFailure:
+    def test_detection_continues_without_the_leaf(self):
+        tree, graph = chordful_tree(2, 3)
+        leaf = tree.leaves()[-1]
+        result = run_hierarchical(
+            tree, graph=graph, seed=1, config=LONG, failures=[(100.0, leaf)]
+        )
+        assert result.crashed == [(100.0, leaf)]
+        full = [d for d in result.detections if leaf in d.members]
+        partial = [d for d in result.detections if leaf not in d.members]
+        assert full, "expected full-predicate detections before the crash"
+        assert partial, "expected partial-predicate detections after the crash"
+        # Partial detections cover exactly the survivors.
+        survivors = frozenset(n for n in range(7) if n != leaf)
+        assert all(d.members == survivors for d in partial)
+        # Every reported solution still satisfies Eq. (2).
+        for record in result.detections:
+            assert overlap(list(record.aggregate.concrete_leaves()))
+
+
+class TestInteriorFailure:
+    def test_orphans_reattach_and_detection_continues(self):
+        tree, graph = chordful_tree(2, 4, extra=14, seed=3)
+        result = run_hierarchical(
+            tree, graph=graph, seed=2, config=LONG, failures=[(90.0, 1)]
+        )
+        partial = [d for d in result.detections if 1 not in d.members]
+        assert partial
+        survivors = frozenset(n for n in range(15) if n != 1)
+        assert partial[-1].members == survivors
+        # The tree was actually rewired: node 1 is gone, all survivors
+        # hang off the original root.
+        assert 1 not in result.tree.parent
+        assert sorted(result.tree.subtree_nodes(result.tree.root)) == sorted(survivors)
+
+
+class TestRootFailure:
+    def test_new_root_promoted_and_detects(self):
+        tree, graph = chordful_tree(2, 3, extra=10, seed=5)
+        result = run_hierarchical(
+            tree, graph=graph, seed=3, config=LONG, failures=[(90.0, 0)]
+        )
+        # Detections continue after the root's crash, recorded by the
+        # promoted root (node 1, the smallest orphan).
+        post = [d for d in result.detections if d.time > 95.0]
+        assert post
+        assert all(d.detector == 1 for d in post)
+        assert all(d.members == frozenset(range(1, 7)) for d in post)
+
+    def test_contrast_centralized_sink_failure_is_fatal(self):
+        """The paper's key comparison: the centralized algorithm stops
+        detecting when the sink dies; the hierarchical one does not."""
+        config = LONG
+        tree_c = SpanningTree.regular(2, 3)
+        cent = run_centralized(tree_c, seed=3, config=config)
+        # Kill the sink (root 0) mid-run by re-running with a failure.
+        # run_centralized has no failure hook (the baseline has no
+        # repair story), so emulate: crash via the network at t=90.
+        import networkx as nx
+
+        from repro.detect.roles import CentralizedReporterRole, CentralizedSinkRole
+        from repro.fault.injector import FailureInjector
+        from repro.sim import ExecutionTrace, Network, Simulator, uniform_delay
+        from repro.workload.generator import EpochProcess, EpochWorkload
+
+        tree = SpanningTree.regular(2, 3)
+        sim = Simulator(seed=3)
+        net = Network(sim, tree.as_graph(), uniform_delay(0.5, 1.5))
+        trace = ExecutionTrace(tree.n)
+        sink_role = CentralizedSinkRole(tree.nodes)
+        roles = {0: sink_role}
+        for pid in tree.nodes:
+            if pid != 0:
+                roles[pid] = CentralizedReporterRole(tree.path_to_root(pid))
+        processes = {
+            pid: EpochProcess(pid, sim, net, trace, roles[pid], tree)
+            for pid in tree.nodes
+        }
+        workload = EpochWorkload(sim, processes, tree, config, max_delay=1.5)
+        workload.install()
+        injector = FailureInjector(sim, processes)
+        injector.crash_at(90.0, 0)
+        for p in processes.values():
+            p.start()
+        sim.run(until=workload.end_time)
+
+        assert all(d.time <= 90.0 for d in sink_role.detections)
+        # And the healthy centralized run detected more occurrences.
+        assert len(cent.detections) > len(sink_role.detections)
+
+
+class TestPartition:
+    def test_partitioned_subtrees_monitor_partial_predicates(self):
+        """With no spare links (graph == tree), an interior failure
+        partitions the network: each orphan subtree keeps detecting its
+        own partial predicate — the "finer-grained monitoring" claim."""
+        tree = SpanningTree.regular(2, 3)
+        result = run_hierarchical(tree, seed=4, config=LONG, failures=[(90.0, 1)])
+        # Orphans 3 and 4 become singleton detection domains.
+        post_members = {d.members for d in result.detections if d.time > 120.0}
+        assert frozenset({3}) in post_members
+        assert frozenset({4}) in post_members
+        # The main component (0, 2, 5, 6) keeps detecting too.
+        assert frozenset({0, 2, 5, 6}) in post_members
+
+
+class TestDeterminismUnderFailures:
+    def test_same_seed_same_outcome(self):
+        def run():
+            tree, graph = chordful_tree(2, 3, extra=8, seed=7)
+            result = run_hierarchical(
+                tree, graph=graph, seed=9, config=LONG, failures=[(80.0, 2)]
+            )
+            return [
+                (round(d.time, 6), d.detector, tuple(sorted(d.members)))
+                for d in result.detections
+            ]
+
+        assert run() == run()

@@ -1,0 +1,76 @@
+"""Integration: larger networks and uncoordinated workloads.
+
+The paper's title claims large-scale networks; these tests push the
+simulator to a couple hundred nodes and validate the detector against
+the offline reference on workloads that were *not* designed around it
+(random toggling + random chatter).
+"""
+
+from repro.detect import replay_centralized
+from repro.detect.roles import HierarchicalRole
+from repro.experiments.harness import run_centralized, run_hierarchical
+from repro.sim import ExecutionTrace, MonitoredProcess, Network, Simulator, uniform_delay
+from repro.topology import SpanningTree, random_geometric_topology
+from repro.workload import EpochConfig, RandomWorkload
+
+
+class TestScale:
+    def test_127_node_binary_tree(self):
+        tree = SpanningTree.regular(2, 7)  # 127 nodes
+        result = run_hierarchical(
+            tree, seed=3, config=EpochConfig(epochs=5, sync_prob=1.0)
+        )
+        assert result.metrics.root_detections == 5
+        # Per-node load stays tiny even at this size.
+        assert result.metrics.max_queue_per_node <= 8
+
+    def test_100_node_wsn_bfs_tree(self):
+        graph = random_geometric_topology(100, seed=4)
+        tree = SpanningTree.bfs(graph, root=0)
+        result = run_hierarchical(
+            tree, graph=graph, seed=4, config=EpochConfig(epochs=4, sync_prob=1.0)
+        )
+        assert result.metrics.root_detections == 4
+
+    def test_wide_tree(self):
+        tree = SpanningTree.regular(10, 3)  # 111 nodes, degree 10
+        result = run_hierarchical(
+            tree, seed=5, config=EpochConfig(epochs=3, sync_prob=1.0)
+        )
+        assert result.metrics.root_detections == 3
+
+
+class TestUncoordinatedWorkloads:
+    def _run_random(self, tree, seed, duration=120.0):
+        sim = Simulator(seed=seed)
+        net = Network(sim, tree.as_graph(), uniform_delay())
+        trace = ExecutionTrace(tree.n)
+        roles = {
+            pid: HierarchicalRole(tree.parent_of(pid), tree.children(pid))
+            for pid in tree.nodes
+        }
+        processes = {
+            pid: MonitoredProcess(pid, sim, net, trace, roles[pid])
+            for pid in tree.nodes
+        }
+        RandomWorkload(
+            sim, processes, duration=duration, mean_on=6.0, mean_off=3.0,
+            msg_rate=0.8,
+        ).install()
+        for p in processes.values():
+            p.start()
+        sim.run(until=duration + 120.0)
+        return trace, roles
+
+    def test_detections_match_reference_on_random_workload(self):
+        for seed in (1, 2, 3):
+            tree = SpanningTree.regular(2, 3)
+            trace, roles = self._run_random(tree, seed)
+            reference = replay_centralized(trace, sink=0)
+            assert len(roles[0].detections) == len(reference), f"seed {seed}"
+
+    def test_same_workload_same_count_both_algorithms(self):
+        config = EpochConfig(epochs=10, sync_prob=0.4, defect_frac=0.5)
+        hier = run_hierarchical(SpanningTree.regular(3, 3), seed=8, config=config)
+        cent = run_centralized(SpanningTree.regular(3, 3), seed=8, config=config)
+        assert hier.metrics.root_detections == len(cent.detections)

@@ -1,0 +1,86 @@
+"""Integration: sequences of failures, random victims, and safety
+invariants that must hold through arbitrary repair histories."""
+
+import pytest
+
+from repro.experiments.harness import run_hierarchical
+from repro.intervals import overlap
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig
+
+
+def chordful(d, h, extra, seed):
+    tree = SpanningTree.regular(d, h)
+    graph = tree_with_chords(tree.as_graph(), extra_edges=extra, seed=seed)
+    return tree, graph
+
+
+LONG = EpochConfig(epochs=16, sync_prob=1.0, drain_time=100.0)
+
+
+class TestSequentialFailures:
+    def test_two_leaf_failures(self):
+        tree, graph = chordful(2, 3, 8, 1)
+        result = run_hierarchical(
+            tree, graph=graph, seed=2, config=LONG,
+            failures=[(80.0, 5), (160.0, 6)],
+        )
+        late = [d for d in result.detections if d.time > 200.0]
+        assert late
+        assert all(d.members == frozenset({0, 1, 2, 3, 4}) for d in late)
+
+    def test_interior_then_leaf(self):
+        tree, graph = chordful(2, 4, 16, 2)
+        result = run_hierarchical(
+            tree, graph=graph, seed=3, config=LONG,
+            failures=[(80.0, 2), (170.0, 9)],
+        )
+        survivors = frozenset(n for n in range(15) if n not in (2, 9))
+        late = [d for d in result.detections if d.time > 220.0]
+        assert late
+        assert all(d.members == survivors for d in late)
+        # Tree bookkeeping agrees.
+        assert sorted(result.tree.subtree_nodes(result.tree.root)) == sorted(survivors)
+
+    def test_root_then_promoted_root(self):
+        """The root dies; its successor dies too; detection survives
+        both promotions."""
+        tree, graph = chordful(2, 4, 16, 4)
+        result = run_hierarchical(
+            tree, graph=graph, seed=5, config=LONG,
+            failures=[(70.0, 0), (170.0, 1)],  # 1 is promoted, then dies
+        )
+        survivors = frozenset(range(2, 15))
+        late = [d for d in result.detections if d.time > 230.0]
+        assert late
+        assert all(d.members == survivors for d in late)
+
+    def test_safety_through_all_repairs(self):
+        tree, graph = chordful(2, 4, 16, 6)
+        result = run_hierarchical(
+            tree, graph=graph, seed=7, config=LONG,
+            failures=[(80.0, 3), (150.0, 1)],
+        )
+        for record in result.detections:
+            leaves = list(record.aggregate.concrete_leaves())
+            assert overlap(leaves)
+            assert {iv.owner for iv in leaves} == set(record.members)
+
+
+class TestRandomVictims:
+    @pytest.mark.parametrize("seed", [11, 23, 37, 51])
+    def test_random_single_failure_never_breaks_safety(self, seed):
+        tree, graph = chordful(2, 4, 12, seed)
+        import numpy as np
+
+        victim = int(np.random.default_rng(seed).integers(0, 15))
+        result = run_hierarchical(
+            tree, graph=graph, seed=seed, config=LONG,
+            failures=[(75.0, victim)],
+        )
+        survivors = frozenset(n for n in range(15) if n != victim)
+        late = [d for d in result.detections if d.time > 150.0]
+        assert late, f"no post-failure detections for victim {victim}"
+        assert all(d.members == survivors for d in late)
+        for record in result.detections:
+            assert overlap(list(record.aggregate.concrete_leaves()))

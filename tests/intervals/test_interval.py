@@ -1,0 +1,68 @@
+"""Unit tests: the Interval data type."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval, aggregate
+
+from ..conftest import make_interval
+
+
+class TestConstruction:
+    def test_members_default_to_owner_singleton(self):
+        iv = make_interval(3, 0, [0, 0, 0, 1], [0, 0, 0, 4])
+        assert iv.members == frozenset({3})
+
+    def test_bounds_frozen(self):
+        iv = make_interval(0, 0, [1, 0], [2, 0])
+        with pytest.raises(ValueError):
+            iv.lo[0] = 9
+
+    def test_rejects_out_of_order_bounds(self):
+        with pytest.raises(ValueError):
+            make_interval(0, 0, [2, 0], [1, 5])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Interval(owner=0, seq=0, lo=np.array([1, 0]), hi=np.array([1, 0, 0]))
+
+    def test_equal_bounds_allowed(self):
+        # A single-event interval has lo == hi.
+        iv = make_interval(1, 0, [0, 1], [0, 1])
+        assert iv.n == 2
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = make_interval(0, 0, [1, 0], [3, 0])
+        b = make_interval(0, 0, [1, 0], [3, 0])
+        c = make_interval(0, 1, [1, 0], [3, 0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_not_equal_to_other_types(self):
+        assert make_interval(0, 0, [1], [2]) != "interval"
+
+
+class TestProvenance:
+    def test_concrete_leaf_is_self(self):
+        iv = make_interval(0, 0, [1, 0], [2, 0])
+        assert list(iv.concrete_leaves()) == [iv]
+        assert not iv.is_aggregated
+
+    def test_aggregate_unfolds_to_concrete(self):
+        x = make_interval(0, 0, [1, 0], [3, 2])
+        y = make_interval(1, 0, [0, 1], [2, 3])
+        agg = aggregate([x, y], owner=9, seq=0)
+        assert agg.is_aggregated
+        assert set(agg.concrete_leaves()) == {x, y}
+        assert agg.members == frozenset({0, 1})
+
+    def test_nested_aggregation_unfolds_fully(self):
+        x = make_interval(0, 0, [1, 0, 0], [3, 2, 2])
+        y = make_interval(1, 0, [0, 1, 0], [2, 3, 2])
+        z = make_interval(2, 0, [0, 0, 1], [2, 2, 3])
+        inner = aggregate([x, y], owner=5, seq=0)
+        outer = aggregate([inner, z], owner=6, seq=0)
+        assert set(outer.concrete_leaves()) == {x, y, z}
+        assert outer.members == frozenset({0, 1, 2})

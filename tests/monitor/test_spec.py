@@ -1,0 +1,55 @@
+"""Unit tests: predicate specifications."""
+
+import pytest
+
+from repro.monitor import ConjunctivePredicate
+
+
+class TestBuilders:
+    def test_uniform(self):
+        phi = ConjunctivePredicate.uniform(range(3), lambda v: v.get("x") == 1)
+        assert phi.processes == [0, 1, 2]
+        assert phi.evaluate(0, {"x": 1})
+        assert not phi.evaluate(2, {"x": 2})
+
+    def test_threshold_gt(self):
+        phi = ConjunctivePredicate.threshold(range(2), "temp", gt=30.0)
+        assert phi.evaluate(0, {"temp": 31.0})
+        assert not phi.evaluate(0, {"temp": 30.0})
+        assert not phi.evaluate(0, {})  # unknown variable is false
+
+    def test_threshold_band(self):
+        phi = ConjunctivePredicate.threshold(range(1), "x", gt=0.0, lt=10.0)
+        assert phi.evaluate(0, {"x": 5})
+        assert not phi.evaluate(0, {"x": 10})
+        assert not phi.evaluate(0, {"x": -1})
+
+    def test_threshold_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            ConjunctivePredicate.threshold(range(2), "x")
+
+    def test_equals(self):
+        phi = ConjunctivePredicate.equals(range(2), "mode", "active")
+        assert phi.evaluate(1, {"mode": "active"})
+        assert not phi.evaluate(1, {"mode": "idle"})
+
+    def test_per_process_heterogeneous(self):
+        """The paper's Section I form: x_i > 20 ∧ y_j < 45."""
+        phi = ConjunctivePredicate.per_process(
+            {
+                0: lambda v: v.get("x", 0) > 20,
+                1: lambda v: v.get("y", 100) < 45,
+            }
+        )
+        assert phi.evaluate(0, {"x": 25})
+        assert phi.evaluate(1, {"y": 10})
+        assert not phi.evaluate(1, {"y": 50})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctivePredicate({})
+
+    def test_unknown_process(self):
+        phi = ConjunctivePredicate.uniform(range(2), lambda v: True)
+        with pytest.raises(KeyError):
+            phi.evaluate(5, {})

@@ -1,0 +1,85 @@
+"""Hypothesis strategies for executions, interval sets and trees."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.intervals import Interval
+from repro.topology import SpanningTree
+from repro.workload.scenarios import ScriptedExecution
+
+
+@st.composite
+def executions(draw, min_n=2, max_n=4, max_steps=40):
+    """A random causally valid execution (open intervals closed)."""
+    n = draw(st.integers(min_n, max_n))
+    steps = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, n - 1), st.integers(0, 7)),
+            max_size=max_steps,
+        )
+    )
+    ex = ScriptedExecution(n)
+    in_flight: list[str] = []
+    tag = 0
+    for op, p, pick in steps:
+        if op == 0:
+            ex.internal(p)
+        elif op == 1:
+            ex.set_pred(p, not ex.predicate[p])
+        elif op == 2:
+            name = f"t{tag}"
+            tag += 1
+            ex.send(p, name)
+            in_flight.append(name)
+        elif in_flight:
+            ex.recv(p, in_flight.pop(pick % len(in_flight)))
+    for p in range(n):
+        if ex.predicate[p]:
+            ex.set_pred(p, False)
+    return ex
+
+
+@st.composite
+def overlapping_interval_sets(draw, n_components=4, min_size=1, max_size=4):
+    """A set X of intervals with overlap(X) guaranteed by construction:
+    every hi dominates every lo."""
+    size = draw(st.integers(min_size, max_size))
+    los = [
+        np.array(draw(st.lists(st.integers(0, 6), min_size=n_components, max_size=n_components)))
+        for _ in range(size)
+    ]
+    ceiling = np.maximum.reduce(los)
+    intervals = []
+    for owner, lo in enumerate(los):
+        bump = np.array(
+            draw(st.lists(st.integers(1, 5), min_size=n_components, max_size=n_components))
+        )
+        intervals.append(Interval(owner=owner, seq=0, lo=lo, hi=ceiling + bump))
+    return intervals
+
+
+@st.composite
+def arbitrary_interval_sets(draw, n_components=4, min_size=1, max_size=4):
+    """Intervals with arbitrary (valid) bounds — overlap not guaranteed."""
+    size = draw(st.integers(min_size, max_size))
+    intervals = []
+    for owner in range(size):
+        lo = np.array(
+            draw(st.lists(st.integers(0, 6), min_size=n_components, max_size=n_components))
+        )
+        span = np.array(
+            draw(st.lists(st.integers(0, 6), min_size=n_components, max_size=n_components))
+        )
+        intervals.append(Interval(owner=owner, seq=0, lo=lo, hi=lo + span))
+    return intervals
+
+
+@st.composite
+def trees(draw, n):
+    """A random rooted tree over 0..n-1 with root 0."""
+    parent = {0: None}
+    for i in range(1, n):
+        parent[i] = draw(st.integers(0, i - 1))
+    return SpanningTree(0, parent)

@@ -1,0 +1,137 @@
+"""Property-based differential testing on random executions.
+
+The strongest guarantees in the suite: for *any* causally valid
+execution and *any* spanning tree over its processes,
+
+* every solution the hierarchical detector reports — at any level —
+  unfolds to a concrete interval set satisfying Eq. (2) (safety),
+* the root detects exactly as many occurrences as the centralized
+  repeated-detection reference [12] (completeness/equivalence),
+* a detection exists iff brute-force ground truth says Definitely(Φ)
+  holds (first-occurrence correctness),
+* successive aggregates from one node are ``succ``-ordered (Theorem 2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import vc_le, vc_less
+from repro.detect import holds_definitely, lattice_definitely, replay_centralized
+from repro.detect.hierarchical import EmissionKind
+from repro.detect.offline import replay_hierarchical
+from repro.intervals import overlap
+
+from .strategies import executions, trees
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def execution_and_tree(draw):
+    ex = draw(executions())
+    tree = draw(trees(ex.n))
+    return ex, tree
+
+
+class TestHierarchicalCorrectness:
+    @SETTINGS
+    @given(execution_and_tree())
+    def test_safety_every_solution_overlaps(self, ex_tree):
+        ex, tree = ex_tree
+        emissions = replay_hierarchical(ex.trace, tree)
+        for pid, emitted in emissions.items():
+            for emission in emitted:
+                leaves = list(emission.aggregate.concrete_leaves())
+                assert overlap(leaves)
+                # The solution covers exactly the subtree's processes.
+                assert {iv.owner for iv in leaves} == set(tree.subtree_nodes(pid))
+
+    @SETTINGS
+    @given(execution_and_tree())
+    def test_root_count_equals_centralized_reference(self, ex_tree):
+        ex, tree = ex_tree
+        emissions = replay_hierarchical(ex.trace, tree)
+        reference = replay_centralized(ex.trace, sink=0)
+        assert len(emissions[tree.root]) == len(reference)
+
+    @SETTINGS
+    @given(execution_and_tree())
+    def test_detects_iff_definitely_holds(self, ex_tree):
+        ex, tree = ex_tree
+        emissions = replay_hierarchical(ex.trace, tree)
+        assert bool(emissions[tree.root]) == holds_definitely(ex.trace.all_intervals())
+
+    @SETTINGS
+    @given(execution_and_tree())
+    def test_theorem2_aggregates_succ_ordered(self, ex_tree):
+        ex, tree = ex_tree
+        emissions = replay_hierarchical(ex.trace, tree)
+        for pid, emitted in emissions.items():
+            aggs = [e.aggregate for e in emitted]
+            for a, b in zip(aggs, aggs[1:]):
+                assert vc_le(a.lo, a.hi)
+                assert vc_less(a.hi, b.lo)  # max(⊓X) < min(⊓X')
+
+    @SETTINGS
+    @given(execution_and_tree())
+    def test_emission_kinds_match_position(self, ex_tree):
+        ex, tree = ex_tree
+        emissions = replay_hierarchical(ex.trace, tree)
+        for pid, emitted in emissions.items():
+            expected = (
+                EmissionKind.DETECTION if pid == tree.root else EmissionKind.REPORT
+            )
+            assert all(e.kind is expected for e in emitted)
+
+
+class TestOracleSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(executions(max_n=3, max_steps=16))
+    def test_eq2_sound_for_lattice_definitely(self, ex):
+        if holds_definitely(ex.trace.all_intervals()):
+            assert lattice_definitely(ex.trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(executions(max_n=3, max_steps=16))
+    def test_centralized_first_detection_iff_brute(self, ex):
+        solutions = replay_centralized(ex.trace, sink=0)
+        assert bool(solutions) == holds_definitely(ex.trace.all_intervals())
+
+
+class TestTokenEquivalence:
+    """The distributed token detector finds exactly the first occurrence
+    the centralized one-shot finds, on any execution and delivery order
+    compatible with completion order."""
+
+    @SETTINGS
+    @given(executions())
+    def test_first_occurrence_identical(self, ex):
+        from repro.detect import OneShotDefinitelyCore, TokenDefinitelyDetector
+
+        reference = OneShotDefinitelyCore(0, range(ex.n))
+        token = TokenDefinitelyDetector(range(ex.n))
+        token.start()
+        for interval in ex.trace.intervals_in_completion_order():
+            reference.offer(interval.owner, interval)
+            token.offer(interval.owner, interval)
+
+        def key(solution):
+            if solution is None:
+                return None
+            return tuple(
+                sorted((iv.owner, iv.seq) for iv in solution.heads.values())
+            )
+
+        assert key(token.detection) == key(reference.detection)
+
+    @SETTINGS
+    @given(executions(max_n=3))
+    def test_token_detection_is_sound(self, ex):
+        from repro.detect import TokenDefinitelyDetector
+
+        token = TokenDefinitelyDetector(range(ex.n))
+        token.start()
+        for interval in ex.trace.intervals_in_completion_order():
+            token.offer(interval.owner, interval)
+        if token.detection is not None:
+            assert overlap(token.detection.intervals)

@@ -1,0 +1,54 @@
+"""Property-based tests over the *full simulation* stack.
+
+Slower than the offline-replay properties (each example runs the DES
+end-to-end), so example counts are small; the goal is covering the
+layers the replays skip — real channel delays, reordering, transport
+sequencing, the epoch wave — against the same oracles.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import replay_centralized
+from repro.experiments import run_centralized, run_hierarchical
+from repro.intervals import overlap
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+
+@st.composite
+def sim_cases(draw):
+    d = draw(st.integers(2, 3))
+    h = draw(st.integers(2, 3))
+    seed = draw(st.integers(0, 10_000))
+    sync_prob = draw(st.sampled_from([0.0, 0.4, 0.8, 1.0]))
+    epochs = draw(st.integers(2, 6))
+    return d, h, seed, EpochConfig(epochs=epochs, sync_prob=sync_prob)
+
+
+class TestSimulationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(sim_cases())
+    def test_detections_match_offline_reference(self, case):
+        d, h, seed, config = case
+        result = run_hierarchical(SpanningTree.regular(d, h), seed=seed, config=config)
+        reference = replay_centralized(result.trace, sink=0)
+        assert result.metrics.root_detections == len(reference)
+
+    @settings(max_examples=15, deadline=None)
+    @given(sim_cases())
+    def test_both_algorithms_agree_through_real_channels(self, case):
+        d, h, seed, config = case
+        hier = run_hierarchical(SpanningTree.regular(d, h), seed=seed, config=config)
+        cent = run_centralized(SpanningTree.regular(d, h), seed=seed, config=config)
+        assert hier.metrics.root_detections == len(cent.detections)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sim_cases())
+    def test_every_sim_detection_is_safe(self, case):
+        d, h, seed, config = case
+        result = run_hierarchical(SpanningTree.regular(d, h), seed=seed, config=config)
+        for record in result.detections:
+            leaves = list(record.aggregate.concrete_leaves())
+            assert overlap(leaves)
+            assert {iv.owner for iv in leaves} == set(record.members)

@@ -1,0 +1,78 @@
+"""Unit + integration tests: the structured observability log."""
+
+from repro.experiments import run_hierarchical
+from repro.sim import EventLog, Simulator
+from repro.topology import SpanningTree, tree_with_chords
+from repro.workload import EpochConfig
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(1.0, "detection", node=0, members=7)
+        log.emit(2.0, "crash", node=3)
+        log.emit(3.0, "detection", node=0, members=6)
+        assert len(log) == 3
+        assert log.kinds() == ["crash", "detection"]
+        detections = log.of_kind("detection")
+        assert [r.get("members") for r in detections] == [7, 6]
+        assert list(log.between(1.5, 2.5))[0].kind == "crash"
+
+    def test_render(self):
+        log = EventLog()
+        log.emit(1.0, "crash", node=3)
+        log.emit(2.0, "rejoin", node=3, adopter=0)
+        text = log.render()
+        assert "crash" in text and "adopter=0" in text
+        assert log.render(kinds=["crash"]).count("\n") == 0
+        assert log.render(limit=1).count("\n") == 0
+
+    def test_simulator_emit_uses_now(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.emit("tick", node=1))
+        sim.run()
+        (record,) = sim.log.records
+        assert record.time == 5.0 and record.kind == "tick"
+
+
+class TestLifecycleNarration:
+    def test_failure_run_produces_the_full_story(self):
+        tree = SpanningTree.regular(2, 3)
+        graph = tree_with_chords(tree.as_graph(), extra_edges=8, seed=1)
+        result = run_hierarchical(
+            tree, graph=graph, seed=1,
+            config=EpochConfig(epochs=10, sync_prob=1.0, drain_time=80.0),
+            failures=[(80.0, 1)],
+        )
+        log = result.sim.log
+        assert log.of_kind("crash")
+        assert log.of_kind("suspect")
+        assert log.of_kind("repair_planned")
+        assert log.of_kind("detection")
+        # Causal order: crash before suspicion before the repair plan.
+        crash_t = log.of_kind("crash")[0].time
+        suspect_t = log.of_kind("suspect")[0].time
+        plan_t = log.of_kind("repair_planned")[0].time
+        assert crash_t < suspect_t <= plan_t
+
+    def test_rejoin_events_logged(self):
+        tree = SpanningTree.regular(2, 3)
+        graph = tree_with_chords(tree.as_graph(), extra_edges=8, seed=1)
+        result = run_hierarchical(
+            tree, graph=graph, seed=1,
+            config=EpochConfig(epochs=16, sync_prob=1.0, drain_time=100.0),
+            failures=[(80.0, 5)], revivals=[(200.0, 5)],
+        )
+        (rejoin,) = result.sim.log.of_kind("rejoin")
+        assert rejoin.node == 5
+        assert rejoin.get("adopter") is not None
+
+    def test_partition_events_logged(self):
+        tree = SpanningTree.regular(2, 3)  # graph == tree: no spare links
+        result = run_hierarchical(
+            tree, seed=4,
+            config=EpochConfig(epochs=12, sync_prob=1.0, drain_time=80.0),
+            failures=[(80.0, 1)],
+        )
+        partitioned = {r.node for r in result.sim.log.of_kind("partitioned")}
+        assert partitioned == {3, 4}

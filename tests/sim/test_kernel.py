@@ -1,0 +1,104 @@
+"""Unit tests: the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at_and_past_rejection(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_run_until_stops_cleanly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(k):
+            fired.append(k)
+            if k < 3:
+                sim.schedule(1.0, lambda: chain(k + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+
+class TestRngStreams:
+    def test_streams_deterministic_by_name_and_seed(self):
+        a = Simulator(seed=7).rng("net").random(5)
+        b = Simulator(seed=7).rng("net").random(5)
+        assert (a == b).all()
+
+    def test_streams_independent_of_creation_order(self):
+        sim1 = Simulator(seed=7)
+        sim1.rng("x")
+        v1 = sim1.rng("net").random(3)
+        sim2 = Simulator(seed=7)
+        v2 = sim2.rng("net").random(3)
+        assert (v1 == v2).all()
+
+    def test_different_names_differ(self):
+        sim = Simulator(seed=7)
+        assert not (sim.rng("a").random(8) == sim.rng("b").random(8)).all()
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng("net").random(8)
+        b = Simulator(seed=2).rng("net").random(8)
+        assert not (a == b).all()
+
+    def test_same_name_returns_same_stream(self):
+        sim = Simulator(seed=0)
+        first = sim.rng("net")
+        first.random()
+        assert sim.rng("net") is first

@@ -1,0 +1,123 @@
+"""Unit tests: the simulated network (non-FIFO channels, routing,
+crash drops, message accounting)."""
+
+import networkx as nx
+import pytest
+
+from repro.sim import Network, Simulator, exponential_delay, uniform_delay
+
+
+def line_graph(n=4):
+    g = nx.Graph()
+    g.add_edges_from((i, i + 1) for i in range(n - 1))
+    return g
+
+
+def make_net(graph=None, delay=None, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, graph or line_graph(), delay or uniform_delay(0.5, 1.5))
+    return sim, net
+
+
+class TestOneHop:
+    def test_delivery_to_handler(self):
+        sim, net = make_net()
+        got = []
+        net.attach(1, lambda src, msg, plane: got.append((src, msg, plane)))
+        net.send(0, 1, "hello", plane="app")
+        sim.run()
+        assert got == [(0, "hello", "app")]
+
+    def test_edge_enforcement(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.send(0, 2, "no-link")
+
+    def test_non_fifo_possible(self):
+        """With variable delays, later sends can overtake earlier ones."""
+        sim, net = make_net(delay=exponential_delay(1.0), seed=3)
+        got = []
+        net.attach(1, lambda src, msg, plane: got.append(msg))
+        for i in range(40):
+            net.send(0, 1, i)
+        sim.run()
+        assert sorted(got) == list(range(40))
+        assert got != sorted(got)  # at least one overtake at this seed
+
+    def test_counters(self):
+        sim, net = make_net()
+        net.attach(1, lambda *a: None)
+        net.send(0, 1, "x", plane="app")
+        net.send(0, 1, "y", plane="control")
+        sim.run()
+        assert net.messages_sent() == 2
+        assert net.messages_sent("app") == 1
+        assert net.messages_sent("control") == 1
+        assert net.per_node_sent[0] == 2
+
+
+class TestRouting:
+    def test_routed_message_counts_every_hop(self):
+        sim, net = make_net()
+        got = []
+        net.attach(3, lambda src, msg, plane: got.append((src, msg)))
+        net.send_routed([0, 1, 2, 3], "report")
+        sim.run()
+        assert got == [(0, "report")]  # src is the origin, not the last hop
+        assert net.messages_sent("control") == 3  # 3 hops = 3 messages
+
+    def test_route_too_short(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.send_routed([0], "x")
+
+    def test_dead_intermediate_drops(self):
+        sim, net = make_net()
+        got = []
+        net.attach(3, lambda src, msg, plane: got.append(msg))
+        net.fail(1)
+        net.send_routed([0, 1, 2, 3], "report")
+        sim.run()
+        assert got == []
+
+
+class TestCrashes:
+    def test_dead_sender_sends_nothing(self):
+        sim, net = make_net()
+        got = []
+        net.attach(1, lambda src, msg, plane: got.append(msg))
+        net.fail(0)
+        net.send(0, 1, "x")
+        sim.run()
+        assert got == [] and net.messages_sent() == 0
+
+    def test_dead_receiver_drops_in_flight(self):
+        sim, net = make_net()
+        got = []
+        net.attach(1, lambda src, msg, plane: got.append(msg))
+        net.send(0, 1, "x")
+        net.fail(1)  # crash before delivery
+        sim.run()
+        assert got == []
+        assert net.dropped[("app", "str")] == 1
+
+    def test_is_alive(self):
+        sim, net = make_net()
+        assert net.is_alive(0)
+        net.fail(0)
+        assert not net.is_alive(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_delivery_order(self):
+        def run(seed):
+            sim, net = make_net(delay=exponential_delay(1.0), seed=seed)
+            got = []
+            net.attach(1, lambda src, msg, plane: got.append(msg))
+            for i in range(20):
+                net.send(0, 1, i)
+            sim.run()
+            return got
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

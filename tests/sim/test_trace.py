@@ -1,0 +1,68 @@
+"""Unit tests: execution traces."""
+
+import pytest
+
+from repro.clocks import freeze
+from repro.sim import ExecutionTrace
+from repro.workload.scenarios import ScriptedExecution, figure2_execution
+
+
+class TestRecording:
+    def test_timestamp_must_match_local_index(self):
+        trace = ExecutionTrace(2)
+        trace.record(0, freeze([1, 0]), "internal", False)
+        with pytest.raises(ValueError):
+            trace.record(0, freeze([5, 0]), "internal", False)  # index 2 expected
+
+    def test_event_count_and_orders(self):
+        trace = ExecutionTrace(2)
+        trace.record(0, freeze([1, 0]), "internal", False)
+        trace.record(1, freeze([0, 1]), "internal", True)
+        assert trace.event_count() == 2
+        assert trace.events[0][0].global_order == 0
+        assert trace.events[1][0].global_order == 1
+
+    def test_initial_predicate_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace(3, initial_predicate=[True])
+
+    def test_predicate_after(self):
+        trace = ExecutionTrace(1, initial_predicate=[True])
+        assert trace.predicate_after(0, 0) is True
+        trace.record(0, freeze([1]), "internal", False)
+        assert trace.predicate_after(0, 1) is False
+
+
+class TestIntervalExtraction:
+    def test_open_interval_at_trace_end_is_closed(self):
+        ex = ScriptedExecution(1)
+        ex.set_pred(0, True)
+        ex.internal(0)
+        # No falling edge recorded: extraction still yields the run.
+        intervals = ex.trace.intervals(0)
+        assert len(intervals) == 1
+        assert intervals[0].lo.tolist() == [1]
+        assert intervals[0].hi.tolist() == [2]
+
+    def test_back_to_back_intervals(self):
+        ex = ScriptedExecution(1)
+        for _ in range(2):
+            ex.set_pred(0, True)
+            ex.set_pred(0, False)
+        intervals = ex.trace.intervals(0)
+        assert len(intervals) == 2
+        assert intervals[0].hi.tolist() == [1]
+        assert intervals[1].lo.tolist() == [3]
+
+    def test_figure2_interval_census(self):
+        trace = figure2_execution().trace
+        by_proc = trace.all_intervals()
+        assert [len(by_proc[p]) for p in range(4)] == [1, 2, 1, 1]
+
+    def test_completion_order_respects_closing_events(self):
+        trace = figure2_execution().trace
+        order = [(iv.owner, iv.seq) for iv in trace.intervals_in_completion_order()]
+        # x2 (P2's first) completes first; x4 at P3 before x1/x3/x5.
+        assert order[0] == (1, 0)
+        assert set(order) == {(0, 0), (1, 0), (1, 1), (2, 0), (3, 0)}
+        assert order.index((2, 0)) < order.index((0, 0))

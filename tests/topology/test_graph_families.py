@@ -1,0 +1,47 @@
+"""Unit tests: small-world and scale-free topologies + trees over them."""
+
+import networkx as nx
+
+from repro.experiments.harness import run_hierarchical
+from repro.topology import SpanningTree, scale_free_topology, small_world_topology
+from repro.workload import EpochConfig
+
+
+class TestSmallWorld:
+    def test_connected_and_deterministic(self):
+        g1 = small_world_topology(30, k=4, rewire=0.2, seed=3)
+        g2 = small_world_topology(30, k=4, rewire=0.2, seed=3)
+        assert nx.is_connected(g1)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_tiny_falls_back_to_complete(self):
+        g = small_world_topology(3, k=4)
+        assert g.number_of_edges() == 3
+
+
+class TestScaleFree:
+    def test_connected_with_hubs(self):
+        g = scale_free_topology(60, m=2, seed=4)
+        assert nx.is_connected(g)
+        degrees = sorted((d for _, d in g.degree()), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]  # hub-heavy
+
+    def test_tiny_falls_back_to_complete(self):
+        g = scale_free_topology(2, m=2)
+        assert g.number_of_edges() == 1
+
+
+class TestDetectionOverFamilies:
+    def test_hierarchical_detection_on_bfs_trees(self):
+        """The detector is topology-agnostic: a BFS tree over any
+        connected graph carries it, and a fully synced workload is
+        detected every epoch."""
+        for graph in (
+            small_world_topology(12, k=4, seed=5),
+            scale_free_topology(12, m=2, seed=5),
+        ):
+            tree = SpanningTree.bfs(graph, root=0)
+            result = run_hierarchical(
+                tree, graph=graph, seed=6, config=EpochConfig(epochs=4, sync_prob=1.0)
+            )
+            assert result.metrics.root_detections == 4

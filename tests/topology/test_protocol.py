@@ -1,0 +1,110 @@
+"""Tests: the distributed spanning-tree construction protocol."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Network, Simulator, exponential_delay, uniform_delay
+from repro.topology import (
+    SpanningTree,
+    TreeBuilder,
+    random_geometric_topology,
+    small_world_topology,
+)
+
+
+def build(graph, *, seed=3, delay=None, root=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, graph, delay or uniform_delay())
+    builder = TreeBuilder(sim, net, graph, root=root)
+    builder.start()
+    sim.run()
+    return builder, net
+
+
+def assert_valid(tree, graph, root):
+    assert tree is not None
+    assert tree.n == graph.number_of_nodes()
+    assert tree.root == root
+    for node, parent in tree.parent.items():
+        if parent is not None:
+            assert graph.has_edge(node, parent)
+
+
+class TestTreeBuilder:
+    def test_builds_valid_tree_on_geometric_graph(self):
+        graph = random_geometric_topology(40, seed=2)
+        builder, net = build(graph)
+        assert_valid(builder.tree, graph, 0)
+        assert builder.completed_at is not None
+
+    def test_cycle_graph_regression(self):
+        """Regression for the non-FIFO adopted/done race: with heavy
+        delay jitter on a cycle, a fast subtree's DONE used to overtake
+        its adoption notice and deadlock the build."""
+        graph = nx.cycle_graph(12)
+        builder, net = build(graph, delay=exponential_delay(1.0))
+        assert_valid(builder.tree, graph, 0)
+
+    def test_race_order_tree_may_differ_from_bfs(self):
+        graph = nx.complete_graph(8)
+        builder, _ = build(graph, delay=uniform_delay(0.1, 3.0))
+        assert_valid(builder.tree, graph, 0)
+        # Plain BFS on a complete graph has height 2; the race-order
+        # tree can be deeper — that is expected and fine.
+        assert builder.tree.height >= 2
+
+    def test_message_cost_linear_in_edges(self):
+        graph = small_world_topology(30, k=4, seed=1)
+        builder, net = build(graph)
+        # Each edge carries at most ~2 joins + 2 verdicts.
+        assert net.messages_sent("control") <= 4 * graph.number_of_edges() + 2
+
+    def test_custom_root(self):
+        graph = random_geometric_topology(20, seed=4)
+        builder, _ = build(graph, root=7)
+        assert builder.tree.root == 7
+
+    def test_invalid_root(self):
+        graph = nx.path_graph(3)
+        sim = Simulator()
+        net = Network(sim, graph)
+        with pytest.raises(ValueError):
+            TreeBuilder(sim, net, graph, root=9)
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        builder, _ = build(graph)
+        assert builder.tree.n == 1
+
+    def test_completion_event_logged(self):
+        graph = nx.path_graph(5)
+        builder, net = build(graph)
+        (record,) = builder.sim.log.of_kind("tree_built")
+        assert record.get("n") == 5
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5000), st.integers(5, 25))
+    def test_always_terminates_with_valid_tree(self, seed, n):
+        graph = small_world_topology(n, k=4, rewire=0.3, seed=seed % 100)
+        builder, _ = build(graph, seed=seed, delay=exponential_delay(1.0))
+        assert_valid(builder.tree, graph, 0)
+
+    def test_detection_over_built_tree_matches_reference(self):
+        """End-to-end: construct the tree with the protocol, then run
+        hierarchical detection over it — the substrate the paper assumes,
+        now fully built in-band."""
+        from repro.detect import replay_centralized
+        from repro.experiments import run_hierarchical
+        from repro.workload import EpochConfig
+
+        graph = random_geometric_topology(15, seed=6)
+        builder, _ = build(graph, seed=6)
+        result = run_hierarchical(
+            builder.tree, graph=graph, seed=6,
+            config=EpochConfig(epochs=5, sync_prob=0.8),
+        )
+        reference = replay_centralized(result.trace, sink=0)
+        assert result.metrics.root_detections == len(reference)

@@ -1,0 +1,142 @@
+"""Unit tests: spanning trees (Section III's hierarchy substrate)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import SpanningTree, regular_tree_size
+
+
+class TestRegularTrees:
+    def test_sizes(self):
+        assert regular_tree_size(2, 1) == 1
+        assert regular_tree_size(2, 3) == 7
+        assert regular_tree_size(3, 3) == 13
+        assert regular_tree_size(4, 3) == 21
+        assert regular_tree_size(1, 5) == 5  # chain
+
+    def test_level_structure(self):
+        tree = SpanningTree.regular(2, 3)
+        assert tree.height == 3
+        assert tree.degree == 2
+        assert tree.level(0) == 3  # root at level h
+        assert all(tree.level(leaf) == 1 for leaf in tree.leaves())
+        assert len(tree.leaves()) == 4
+
+    def test_chain(self):
+        tree = SpanningTree.regular(1, 4)
+        assert tree.n == 4
+        assert tree.height == 4
+        assert tree.degree == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            regular_tree_size(0, 3)
+
+
+class TestBfsTrees:
+    def test_bfs_covers_connected_graph(self):
+        g = nx.cycle_graph(6)
+        tree = SpanningTree.bfs(g, root=0)
+        assert tree.n == 6
+        assert tree.root == 0
+        # BFS on a cycle: depth <= n/2.
+        assert tree.height <= 4
+
+    def test_bfs_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            SpanningTree.bfs(g, root=0)
+
+    def test_bfs_rejects_missing_root(self):
+        with pytest.raises(ValueError):
+            SpanningTree.bfs(nx.path_graph(3), root=9)
+
+
+class TestQueries:
+    def test_paths_and_subtrees(self):
+        tree = SpanningTree.regular(2, 3)
+        # Nodes breadth-first: 0; 1,2; 3,4,5,6.
+        assert tree.children(0) == [1, 2]
+        assert tree.parent_of(3) == 1
+        assert tree.path_to_root(3) == [3, 1, 0]
+        assert tree.subtree_nodes(1) == [1, 3, 4]
+        assert tree.is_leaf(6) and not tree.is_leaf(2)
+
+    def test_iter_bfs(self):
+        tree = SpanningTree.regular(2, 3)
+        assert list(tree.iter_bfs()) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_as_graph_round_trip(self):
+        tree = SpanningTree.regular(3, 3)
+        g = tree.as_graph()
+        assert g.number_of_nodes() == 13
+        assert g.number_of_edges() == 12
+        rebuilt = SpanningTree.bfs(g, root=0)
+        assert rebuilt.parent == tree.parent
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            SpanningTree(0, {0: None, 1: 2, 2: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            SpanningTree(0, {0: None, 1: 5})
+
+    def test_root_must_map_to_none(self):
+        with pytest.raises(ValueError):
+            SpanningTree(0, {0: 1, 1: None})
+
+
+class TestMutation:
+    def test_remove_leaf(self):
+        tree = SpanningTree.regular(2, 3)
+        orphans = tree.remove_node(6)
+        assert orphans == []
+        assert tree.children(2) == [5]
+        assert 6 not in tree.parent
+
+    def test_remove_interior_orphans_children(self):
+        tree = SpanningTree.regular(2, 3)
+        orphans = tree.remove_node(1)
+        assert orphans == [3, 4]
+        assert tree.parent_of(3) is None
+        assert tree.children(0) == [2]
+
+    def test_attach(self):
+        tree = SpanningTree.regular(2, 3)
+        tree.remove_node(1)
+        tree.attach(3, 2)
+        assert tree.parent_of(3) == 2
+        assert 3 in tree.children(2)
+
+    def test_attach_rejects_cycle(self):
+        tree = SpanningTree.regular(2, 3)
+        tree.remove_node(0)
+        tree.set_root(1)
+        with pytest.raises(ValueError):
+            tree.attach(2, 2)
+
+    def test_attach_rejects_non_detached(self):
+        tree = SpanningTree.regular(2, 3)
+        with pytest.raises(ValueError):
+            tree.attach(3, 2)
+
+    def test_reroot_subtree(self):
+        tree = SpanningTree.regular(2, 3)
+        tree.remove_node(0)  # orphans 1 and 2
+        flipped = tree.reroot_subtree(1, 4)
+        assert flipped == [(1, 4)]
+        assert tree.parent_of(4) is None
+        assert tree.parent_of(1) == 4
+        assert tree.children(4) == [1]
+        assert sorted(tree.subtree_nodes(4)) == [1, 3, 4]
+
+    def test_reroot_requires_member(self):
+        tree = SpanningTree.regular(2, 3)
+        tree.remove_node(0)
+        with pytest.raises(ValueError):
+            tree.reroot_subtree(1, 5)  # 5 is in 2's subtree

@@ -1,0 +1,64 @@
+"""Unit tests: local-predicate signal models."""
+
+from itertools import islice
+
+import numpy as np
+import pytest
+
+from repro.workload import PeriodicPhases, RandomToggle, ThresholdSensor
+
+
+class TestPeriodicPhases:
+    def test_alternation_and_durations(self):
+        model = PeriodicPhases(on_duration=2.0, off_duration=3.0)
+        phases = list(islice(model.phases(np.random.default_rng(0)), 6))
+        values = [v for _, v in phases]
+        assert values == [False, True, False, True, False, True]
+        assert all(d in (2.0, 3.0) for d, _ in phases)
+
+    def test_jitter_bounded(self):
+        model = PeriodicPhases(1.0, 1.0, jitter=0.5)
+        for duration, _ in islice(model.phases(np.random.default_rng(1)), 50):
+            assert 0.5 - 1e-9 <= duration <= 1.5 + 1e-9
+
+    def test_start_on(self):
+        model = PeriodicPhases(1.0, 1.0, start_on=True)
+        _, first = next(model.phases(np.random.default_rng(0)))
+        assert first is True
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            PeriodicPhases(0.0, 1.0)
+
+
+class TestRandomToggle:
+    def test_alternation(self):
+        model = RandomToggle(mean_on=2.0, mean_off=2.0)
+        values = [v for _, v in islice(model.phases(np.random.default_rng(0)), 10)]
+        assert values == [False, True] * 5
+
+    def test_mean_roughly_respected(self):
+        model = RandomToggle(mean_on=5.0, mean_off=1.0)
+        phases = list(islice(model.phases(np.random.default_rng(2)), 2000))
+        on = [d for d, v in phases if v]
+        off = [d for d, v in phases if not v]
+        assert 4.0 < np.mean(on) < 6.0
+        assert 0.8 < np.mean(off) < 1.2
+
+    def test_rejects_bad_means(self):
+        with pytest.raises(ValueError):
+            RandomToggle(-1.0, 1.0)
+
+
+class TestThresholdSensor:
+    def test_phases_alternate_and_quantized(self):
+        model = ThresholdSensor(threshold=0.5, sample_period=2.0)
+        phases = list(islice(model.phases(np.random.default_rng(3)), 20))
+        values = [v for _, v in phases]
+        assert all(a != b for a, b in zip(values, values[1:]))
+        assert all(d % 2.0 == 0.0 for d, _ in phases)
+
+    def test_crossings_recur(self):
+        model = ThresholdSensor(threshold=0.6)
+        phases = list(islice(model.phases(np.random.default_rng(4)), 30))
+        assert sum(1 for _, v in phases if v) >= 5

@@ -1,0 +1,81 @@
+"""Tests: regional (group-level) workload and monitoring."""
+
+from repro.detect.roles import HierarchicalRole
+from repro.intervals import overlap
+from repro.sim import ExecutionTrace, Network, Simulator, uniform_delay
+from repro.topology import SpanningTree
+from repro.workload import RegionalConfig, RegionalProcess, RegionalWorkload
+
+
+def run_regional(*, d=2, h=4, episodes=10, global_prob=0.3, seed=3):
+    tree = SpanningTree.regular(d, h)
+    sim = Simulator(seed=seed)
+    net = Network(sim, tree.as_graph(), uniform_delay())
+    trace = ExecutionTrace(tree.n)
+    group_solutions = []
+    roles = {
+        pid: HierarchicalRole(
+            tree.parent_of(pid),
+            tree.children(pid),
+            on_subtree_solution=lambda node, emission: group_solutions.append(
+                (node, emission)
+            ),
+        )
+        for pid in tree.nodes
+    }
+    processes = {
+        pid: RegionalProcess(pid, sim, net, trace, roles[pid], tree)
+        for pid in tree.nodes
+    }
+    workload = RegionalWorkload(
+        sim, processes, tree,
+        RegionalConfig(episodes=episodes, global_prob=global_prob),
+    )
+    workload.install()
+    for p in processes.values():
+        p.start()
+    sim.run(until=workload.end_time + 50.0)
+    return tree, roles, workload, group_solutions, trace
+
+
+class TestRegionalWorkload:
+    def test_global_detections_only_for_global_episodes(self):
+        tree, roles, workload, _, _ = run_regional(seed=3)
+        global_episodes = sum(1 for r in workload.regions_by_episode if r == 0)
+        assert roles[0].detections
+        assert len(roles[0].detections) == global_episodes
+
+    def test_region_roots_detect_their_episodes(self):
+        tree, roles, workload, groups, _ = run_regional(seed=3)
+        for region_root in set(workload.regions_by_episode):
+            owned = sum(1 for r in workload.regions_by_episode if r == region_root)
+            # The region root detects at least its own episodes (plus
+            # any larger episode containing its subtree).
+            assert roles[region_root].core.stats.detections >= owned
+
+    def test_group_alarms_cover_exact_memberships(self):
+        tree, roles, workload, groups, _ = run_regional(seed=5)
+        assert groups
+        for node, emission in groups:
+            members = emission.aggregate.members
+            assert members == frozenset(tree.subtree_nodes(node))
+            assert overlap(list(emission.aggregate.concrete_leaves()))
+
+    def test_silent_processes_produce_no_intervals(self):
+        tree, roles, workload, _, trace = run_regional(
+            seed=7, episodes=6, global_prob=0.0
+        )
+        regions = workload.regions_by_episode
+        touched = set()
+        for region_root in regions:
+            touched.update(tree.subtree_nodes(region_root))
+        for pid in tree.nodes:
+            intervals = trace.intervals(pid)
+            if pid not in touched:
+                assert intervals == []
+
+    def test_all_global_prob_reduces_to_epoch_behaviour(self):
+        tree, roles, workload, _, _ = run_regional(
+            seed=2, episodes=5, global_prob=1.0
+        )
+        assert len(roles[0].detections) == 5

@@ -1,0 +1,50 @@
+"""Unit tests: the scripted-execution builder."""
+
+import pytest
+
+from repro.workload import ScriptedExecution
+
+
+class TestScriptedExecution:
+    def test_vector_clocks_follow_rules(self):
+        ex = ScriptedExecution(2)
+        assert ex.internal(0).tolist() == [1, 0]
+        assert ex.send(0, "m").tolist() == [2, 0]
+        assert ex.internal(1).tolist() == [0, 1]
+        assert ex.recv(1, "m").tolist() == [2, 2]
+
+    def test_duplicate_tag_rejected(self):
+        ex = ScriptedExecution(2)
+        ex.send(0, "m")
+        with pytest.raises(ValueError):
+            ex.send(1, "m")
+
+    def test_recv_unknown_tag_rejected(self):
+        ex = ScriptedExecution(2)
+        with pytest.raises(KeyError):
+            ex.recv(0, "ghost")
+
+    def test_tag_reusable_after_delivery(self):
+        ex = ScriptedExecution(2)
+        ex.send(0, "m")
+        ex.recv(1, "m")
+        ex.send(1, "m")  # fine: previous one delivered
+        ex.recv(0, "m")
+
+    def test_predicate_toggles_recorded(self):
+        ex = ScriptedExecution(1)
+        ex.set_pred(0, True)
+        ex.internal(0)
+        ex.set_pred(0, False)
+        intervals = ex.intervals()[0]
+        assert len(intervals) == 1
+        assert intervals[0].lo.tolist() == [1]
+        assert intervals[0].hi.tolist() == [2]
+
+    def test_initial_predicate_support(self):
+        ex = ScriptedExecution(1, initial_predicate=[True])
+        ex.internal(0)  # still true: extends the initial interval
+        ex.set_pred(0, False)
+        intervals = ex.intervals()[0]
+        assert len(intervals) == 1
+        assert intervals[0].lo.tolist() == [1]

@@ -48,7 +48,15 @@ from .detect import (
 from .experiments import run_centralized, run_hierarchical, run_table1
 from .intervals import Interval, aggregate, overlap, possibly
 from .monitor import ConjunctivePredicate, DistributedMonitor
-from .sim import ExecutionTrace, MonitoredProcess, Network, Simulator
+from .obs import (
+    MetricsRegistry,
+    SpanTracker,
+    Telemetry,
+    chrome_trace,
+    eventlog_to_jsonl,
+    prometheus_text,
+)
+from .sim import EventLog, ExecutionTrace, MonitoredProcess, Network, Simulator
 from .topology import SpanningTree, plan_repair, random_geometric_topology
 from .workload import (
     EpochConfig,
@@ -67,9 +75,11 @@ __all__ = [
     "DetectionRecord",
     "DistributedMonitor",
     "EpochConfig",
+    "EventLog",
     "ExecutionTrace",
     "HierarchicalNodeCore",
     "Interval",
+    "MetricsRegistry",
     "MonitoredProcess",
     "Network",
     "OneShotDefinitelyCore",
@@ -79,12 +89,16 @@ __all__ = [
     "ScriptedExecution",
     "Simulator",
     "Solution",
+    "SpanTracker",
     "SpanningTree",
+    "Telemetry",
     "Timestamp",
     "VectorClock",
     "aggregate",
     "centralized_messages",
     "centralized_messages_paper_eq14",
+    "chrome_trace",
+    "eventlog_to_jsonl",
     "figure1_staggered_execution",
     "figure2_execution",
     "figure3_execution",
@@ -98,6 +112,7 @@ __all__ = [
     "overlap",
     "plan_repair",
     "possibly",
+    "prometheus_text",
     "random_geometric_topology",
     "replay_centralized",
     "run_centralized",

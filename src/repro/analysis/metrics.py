@@ -79,11 +79,53 @@ class RunMetrics:
 
 
 def _report_messages(network: Network) -> int:
+    """Hop-counted ``IntervalReport`` sends, read from the telemetry
+    registry (the network registers its counters there)."""
+    sent = network.sim.telemetry.registry.get("repro_net_sent_total")
+    if sent is None:
+        return 0
     return sum(
         count
-        for (plane, mtype), count in network.sent.items()
+        for (plane, mtype), count in sent.items()
         if plane == "control" and mtype == "IntervalReport"
     )
+
+
+def _per_node_sent(network: Network) -> Dict[int, int]:
+    vec = network.sim.telemetry.registry.get("repro_net_node_sent_total")
+    return dict(vec) if vec is not None else {}
+
+
+def _publish_level_metrics(
+    registry,
+    detections_by_level: Dict[int, int],
+    opportunities_by_level: Dict[int, int],
+    alpha_by_level: Dict[int, float],
+) -> None:
+    """Mirror the per-level aggregates into the registry so exporters
+    see them.  Assignment (not ``+=``) keeps repeated collection of the
+    same run idempotent."""
+    det = registry.counter_vec(
+        "repro_level_detections_total",
+        "Solutions detected, summed over the nodes of each tree level.",
+        ("level",),
+    )
+    off = registry.counter_vec(
+        "repro_level_offers_total",
+        "Intervals offered to detection cores, per tree level.",
+        ("level",),
+    )
+    alpha = registry.gauge_vec(
+        "repro_level_realized_alpha",
+        "Realized aggregation probability α per tree level.",
+        ("level",),
+    )
+    for level, value in detections_by_level.items():
+        det[level] = value
+    for level, value in opportunities_by_level.items():
+        off[level] = value
+    for level, value in alpha_by_level.items():
+        alpha[level] = value
 
 
 def collect_hierarchical(
@@ -94,6 +136,7 @@ def collect_hierarchical(
         control_messages=_report_messages(network),
         app_messages=network.messages_sent("app"),
     )
+    per_node_sent = _per_node_sent(network)
     # Realized alpha per level: solutions / offers-from-children batches.
     detections_by_level: Dict[int, int] = {}
     opportunities_by_level: Dict[int, int] = {}
@@ -109,7 +152,7 @@ def collect_hierarchical(
                 comparisons=core.stats.comparisons,
                 detections=core.stats.detections,
                 peak_queue_intervals=core.peak_queue_space(),
-                messages_sent=network.per_node_sent.get(pid, 0),
+                messages_sent=per_node_sent.get(pid, 0),
             )
         )
         if role.parent_id is None:
@@ -125,6 +168,12 @@ def collect_hierarchical(
             metrics.realized_alpha_by_level[level] = (
                 detections_by_level.get(level, 0) / opportunities
             )
+    _publish_level_metrics(
+        network.sim.telemetry.registry,
+        detections_by_level,
+        opportunities_by_level,
+        metrics.realized_alpha_by_level,
+    )
     return metrics
 
 
@@ -136,6 +185,7 @@ def collect_centralized(
         control_messages=_report_messages(network),
         app_messages=network.messages_sent("app"),
     )
+    per_node_sent = _per_node_sent(network)
     core = sink_role.core
     sink_pid = sink_role.process.pid
     metrics.per_node.append(
@@ -145,7 +195,7 @@ def collect_centralized(
             comparisons=core.stats.comparisons,
             detections=core.stats.detections,
             peak_queue_intervals=core.peak_queue_space(),
-            messages_sent=network.per_node_sent.get(sink_pid, 0),
+            messages_sent=per_node_sent.get(sink_pid, 0),
         )
     )
     metrics.root_detections = len(sink_role.detections)
@@ -157,7 +207,7 @@ def collect_centralized(
                 comparisons=0,  # reporters do no detection work
                 detections=0,
                 peak_queue_intervals=0,
-                messages_sent=network.per_node_sent.get(pid, 0),
+                messages_sent=per_node_sent.get(pid, 0),
             )
         )
     return metrics

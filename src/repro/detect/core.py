@@ -66,6 +66,12 @@ class RepeatedDetectionCore:
         ignores all later input — modelling the one-shot baselines the
         paper contrasts against (Section I: they "hang after the
         initial detection").
+    observer:
+        Optional ``observer(event, key, interval)`` lifecycle callback
+        with events ``"enqueue"``, ``"prune_incompat"`` and
+        ``"prune_solution"`` — the hook the telemetry layer
+        (:mod:`repro.obs`) uses to mark spans without making the core
+        impure (no I/O, no clock: the observer supplies its own).
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class RepeatedDetectionCore:
         detector_id: int = 0,
         *,
         repeated: bool = True,
+        observer=None,
     ) -> None:
         self.queues: Dict[Hashable, IntervalQueue] = {
             key: IntervalQueue() for key in keys
@@ -82,6 +89,7 @@ class RepeatedDetectionCore:
             raise ValueError("a detection core needs at least one queue")
         self.detector_id = detector_id
         self.repeated = repeated
+        self.observer = observer
         self.stats = CoreStats()
         self.solutions: List[Solution] = []
         self._halted = False
@@ -125,6 +133,8 @@ class RepeatedDetectionCore:
         queue = self.queues[key]
         queue.enqueue(interval)
         self.stats.offers += 1
+        if self.observer is not None:
+            self.observer("enqueue", key, interval)
         # Line 2: only a fresh head can change the outcome of detection.
         if len(queue) != 1:
             return []
@@ -156,8 +166,10 @@ class RepeatedDetectionCore:
                             new_updated.add(a)
                 for c in new_updated:
                     if queues[c]:
-                        queues[c].dequeue()
+                        pruned = queues[c].dequeue()
                         self.stats.pruned_incompatible += 1
+                        if self.observer is not None:
+                            self.observer("prune_incompat", c, pruned)
                 updated = new_updated
             # --- line 18: solution iff every queue has a head
             if not all(queues.values()):
@@ -178,8 +190,10 @@ class RepeatedDetectionCore:
             removable = self._removable_heads(heads)
             assert removable, "Theorem 4 guarantees at least one removal"
             for key in removable:
-                queues[key].dequeue()
+                pruned = queues[key].dequeue()
                 self.stats.pruned_after_solution += 1
+                if self.observer is not None:
+                    self.observer("prune_solution", key, pruned)
             updated = removable
 
     def _removable_heads(self, heads: Dict[Hashable, Interval]) -> set:

@@ -58,6 +58,10 @@ class HierarchicalNodeCore:
     is_root:
         Whether this node currently has no parent.  Mutable: tree
         repair after the root's failure promotes a new root.
+    observer:
+        Optional lifecycle callback forwarded to the underlying
+        :class:`~repro.detect.core.RepeatedDetectionCore` (see its
+        docstring) — how span tracing observes enqueues and prunes.
     """
 
     def __init__(
@@ -66,13 +70,14 @@ class HierarchicalNodeCore:
         children: Iterable[int] = (),
         *,
         is_root: bool = False,
+        observer=None,
     ) -> None:
         self.node_id = node_id
         self.is_root = is_root
         keys = [node_id, *children]
         if len(set(keys)) != len(keys):
             raise ValueError("children ids must be unique and differ from node_id")
-        self._core = RepeatedDetectionCore(keys, detector_id=node_id)
+        self._core = RepeatedDetectionCore(keys, detector_id=node_id, observer=observer)
         self._next_agg_seq = 0
         self.emissions: List[Emission] = []
 

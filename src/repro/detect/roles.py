@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..intervals import Interval, ReorderBuffer
+from ..obs.spans import interval_key
 from ..sim.messages import Heartbeat, IntervalReport
 from ..sim.process import MonitoredProcess
 from .base import Solution
@@ -75,6 +76,12 @@ class HierarchicalRole:
         suspected crashes.  Without one, a suspicion is handled locally:
         a dead child's queue is dropped and a dead parent makes this
         node the root of its own partition.
+    level:
+        This node's spanning-tree level (paper numbering: leaves are 1).
+        Purely a telemetry label — spans and metrics carry it so the
+        Chrome-trace exporter can lay processes out by level.  Kept at
+        its initial value across repairs (it labels where work happened
+        when the tree was built, not the live topology).
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class HierarchicalRole:
         coordinator=None,
         on_detection=None,
         on_subtree_solution=None,
+        level: Optional[int] = None,
     ) -> None:
         self.parent_id = parent
         self._init_children = list(children)
@@ -93,6 +101,7 @@ class HierarchicalRole:
         self.coordinator = coordinator
         self.on_detection = on_detection  # callback(DetectionRecord), root-level
         self.on_subtree_solution = on_subtree_solution  # callback(pid, Emission)
+        self.level = level
         self.monitor = None
         self.detections: List[DetectionRecord] = []
         self.process: Optional[MonitoredProcess] = None
@@ -100,14 +109,40 @@ class HierarchicalRole:
         self._buffers: Dict[int, ReorderBuffer] = {}
         self._out_seq = 0
         self._pending: List[Interval] = []  # aggregates emitted while orphaned
+        self._telemetry = None
 
     # ------------------------------------------------------------------
     # DetectorRole interface
     # ------------------------------------------------------------------
     def bind(self, process: MonitoredProcess) -> None:
         self.process = process
+        self._telemetry = process.sim.telemetry
+        registry = self._telemetry.registry
+        self._c_enqueued = registry.counter_vec(
+            "repro_detect_enqueued_total",
+            "Intervals enqueued into detection queues, per node.",
+            ("node",),
+        )
+        self._c_pruned = registry.counter_vec(
+            "repro_detect_pruned_total",
+            "Queue heads pruned, per node and reason.",
+            ("node", "reason"),
+        )
+        self._c_reports = registry.counter_vec(
+            "repro_reports_total",
+            "Aggregated intervals reported to parents, per node.",
+            ("node",),
+        )
+        self._c_alarms = registry.counter_vec(
+            "repro_alarms_total",
+            "Definitely(Phi) announcements, per (partition-)root node.",
+            ("node",),
+        )
         self.core = HierarchicalNodeCore(
-            process.pid, self._init_children, is_root=self.parent_id is None
+            process.pid,
+            self._init_children,
+            is_root=self.parent_id is None,
+            observer=self._observe_core,
         )
         self._buffers = {c: ReorderBuffer() for c in self._init_children}
         if self._heartbeat_cfg is not None:
@@ -152,6 +187,44 @@ class HierarchicalRole:
                 self.monitor.beat_from(message.sender)
 
     # ------------------------------------------------------------------
+    # telemetry (spans + counters; see repro.obs)
+    # ------------------------------------------------------------------
+    def _observe_core(self, event: str, key, interval: Interval) -> None:
+        """Core lifecycle hook: stamp span marks and per-node counters."""
+        pid = self.process.pid
+        span = self._telemetry.spans.get(interval_key(interval))
+        now = self.process.sim.now
+        if event == "enqueue":
+            self._c_enqueued[pid] += 1
+            if span is not None:
+                span.mark(now, f"enqueued@P{pid}")
+        else:
+            self._c_pruned[(pid, event)] += 1
+            if span is not None:
+                span.mark(now, f"{event}@P{pid}")
+
+    def _span_attrs(self) -> dict:
+        return {} if self.level is None else {"level": self.level}
+
+    def _record_report_span(self, aggregate: Interval) -> None:
+        """A ``report`` span for an aggregate, adopting the spans of the
+        solution-set intervals it compresses (``⊓`` provenance)."""
+        spans = self._telemetry.spans
+        now = self.process.sim.now
+        span = spans.record(
+            "report",
+            now,
+            now,
+            node=self.process.pid,
+            key=interval_key(aggregate),
+            seq=aggregate.seq,
+            members=len(aggregate.members),
+            **self._span_attrs(),
+        )
+        for part in aggregate.parts:
+            spans.adopt(span, interval_key(part))
+
+    # ------------------------------------------------------------------
     # emission handling
     # ------------------------------------------------------------------
     def _handle(self, emissions: List[Emission]) -> None:
@@ -161,6 +234,8 @@ class HierarchicalRole:
             if self.core.is_root:
                 self._record_detection(emission.solution, emission.aggregate)
             else:
+                self._record_report_span(emission.aggregate)
+                self._c_reports[self.process.pid] += 1
                 self._report(emission.aggregate)
 
     def _record_detection(self, solution: Solution, aggregate: Interval) -> None:
@@ -171,6 +246,7 @@ class HierarchicalRole:
             aggregate=aggregate,
         )
         self.detections.append(record)
+        self._record_alarm_telemetry(record)
         self.process.sim.emit(
             "detection",
             node=self.process.pid,
@@ -179,6 +255,48 @@ class HierarchicalRole:
         )
         if self.on_detection is not None:
             self.on_detection(record)
+
+    def _record_alarm_telemetry(self, record: DetectionRecord) -> None:
+        """An ``alarm`` span parented over the solution's artifacts, plus
+        the headline detection-latency observation.
+
+        Latency is the simulated time from the *last* solution
+        interval's open to the announcement — 0-safe: a predicate
+        satisfied at the very first event yields a small non-negative
+        latency, and replayed solutions whose interval spans were never
+        traced fall back to 0.
+        """
+        telemetry = self._telemetry
+        now = self.process.sim.now
+        opens = []
+        for leaf in record.solution.concrete_intervals():
+            span = telemetry.spans.get(interval_key(leaf))
+            if span is not None:
+                opens.append(span.start)
+        latency = max(0.0, now - max(opens)) if opens else 0.0
+        telemetry.detection_latency.observe(latency)
+        alarm = telemetry.spans.record(
+            "alarm",
+            now,
+            now,
+            node=self.process.pid,
+            index=record.solution.index,
+            members=len(record.members),
+            latency=latency,
+            **self._span_attrs(),
+        )
+        self._c_alarms[self.process.pid] += 1
+        aggregate = record.aggregate
+        if aggregate is not None:
+            # A pending aggregate announced after promotion already has
+            # a report span — adopt it; otherwise adopt the solution
+            # heads directly.
+            if not telemetry.spans.adopt(alarm, interval_key(aggregate)):
+                for part in aggregate.parts:
+                    telemetry.spans.adopt(alarm, interval_key(part))
+        else:
+            for interval in record.solution.intervals:
+                telemetry.spans.adopt(alarm, interval_key(interval))
 
     def _report(self, aggregate: Interval) -> None:
         if self.parent_id is None:
@@ -266,7 +384,9 @@ class HierarchicalRole:
         """Restart after recovery: fresh detector state (queues are soft
         state), rejoining as a leaf under *parent*.  Past detections are
         kept — they were correct when announced."""
-        self.core = HierarchicalNodeCore(self.process.pid, (), is_root=False)
+        self.core = HierarchicalNodeCore(
+            self.process.pid, (), is_root=False, observer=self._observe_core
+        )
         self._buffers = {}
         self._pending = []
         self._out_seq = 0

@@ -112,6 +112,7 @@ def run_hierarchical(
             children=tree.children(pid),
             heartbeat=heartbeat,
             coordinator=coordinator,
+            level=tree.level(pid),
         )
     processes = {
         pid: EpochProcess(pid, sim, network, trace, roles[pid], tree)

@@ -51,6 +51,17 @@ class HeartbeatMonitor:
         self._last_seen: Dict[int, float] = {}
         self._suspected: Set[int] = set()
         self._running = False
+        registry = sim.telemetry.registry
+        self._c_beats = registry.counter_vec(
+            "repro_heartbeats_sent_total",
+            "Heartbeat messages sent, per node.",
+            ("node",),
+        )
+        self._c_suspicions = registry.counter_vec(
+            "repro_suspicions_total",
+            "Peers declared suspected, per suspecting node.",
+            ("node",),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -89,12 +100,15 @@ class HeartbeatMonitor:
         if not self._running:
             return
         beat = Heartbeat(sender=self.owner)
-        for peer in list(self._last_seen):
+        peers = list(self._last_seen)
+        for peer in peers:
             self._send(peer, beat)
+        self._c_beats[self.owner] += len(peers)
         deadline = self.sim.now - self.timeout
         for peer, last in list(self._last_seen.items()):
             if last < deadline and peer not in self._suspected:
                 self._suspected.add(peer)
+                self._c_suspicions[self.owner] += 1
                 self.sim.emit(
                     "suspect", node=self.owner, peer=peer, last_seen=round(last, 3)
                 )

@@ -124,6 +124,7 @@ class DistributedMonitor:
                 coordinator=self.coordinator if heartbeat else None,
                 on_detection=self._dispatch_alarm,
                 on_subtree_solution=self._dispatch_group,
+                level=self.tree.level(pid),
             )
         self.processes: Dict[int, VariableProcess] = {
             pid: VariableProcess(
@@ -196,6 +197,13 @@ class DistributedMonitor:
         """The run's structured observability log
         (:class:`repro.sim.EventLog`)."""
         return self.sim.log
+
+    @property
+    def telemetry(self):
+        """The run's telemetry handle (:class:`repro.obs.Telemetry`):
+        the metrics registry and the causal span tracker, ready for the
+        :mod:`repro.obs.export` exporters."""
+        return self.sim.telemetry
 
     # ------------------------------------------------------------------
     # alarms

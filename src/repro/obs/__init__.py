@@ -1,0 +1,51 @@
+"""Unified telemetry: metrics registry, causal spans, run exporters.
+
+``repro.obs`` is the observability layer of the stack.  Every
+:class:`~repro.sim.kernel.Simulator` owns a :class:`Telemetry`
+(``sim.telemetry``) bundling a :class:`MetricsRegistry` and a
+:class:`SpanTracker`; the network fabric, detector roles and heartbeat
+monitors record into it, and :mod:`repro.obs.export` renders finished
+runs as JSONL, Prometheus text or Chrome trace-event JSON.  The
+``repro-trace`` CLI (:mod:`repro.obs.cli`) drives all of it from the
+terminal.
+
+See ``docs/observability.md`` for metric names, the span schema and
+exporter formats.
+"""
+
+from .export import (
+    chrome_trace,
+    eventlog_to_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    CounterMetric,
+    CounterVec,
+    Gauge,
+    GaugeVec,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Span, SpanTracker, interval_key
+from .telemetry import LATENCY_BUCKETS, Telemetry
+
+__all__ = [
+    "CounterMetric",
+    "CounterVec",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GaugeVec",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracker",
+    "Telemetry",
+    "chrome_trace",
+    "eventlog_to_jsonl",
+    "interval_key",
+    "prometheus_text",
+    "write_chrome_trace",
+]

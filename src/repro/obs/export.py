@@ -1,0 +1,236 @@
+"""Run exporters: JSONL event dumps, Prometheus text, Chrome traces.
+
+Three interoperable views of one finished run, all derived from the
+same :class:`~repro.obs.telemetry.Telemetry` and
+:class:`~repro.sim.eventlog.EventLog`, all deterministic for a given
+``(seed, workload, topology)``:
+
+* :func:`eventlog_to_jsonl` — the structured event log, one JSON object
+  per line, for ``jq``/pandas post-processing;
+* :func:`prometheus_text` — the metrics registry in the Prometheus text
+  exposition format (counters, gauges, cumulative histograms);
+* :func:`chrome_trace` — the span table as Chrome trace-event JSON,
+  loadable in Perfetto / ``chrome://tracing``: *processes* are tree
+  levels, *threads* are nodes, and flow arrows follow each alarm's
+  causal ancestry down to the concrete intervals.
+
+Simulated time is unitless; the Chrome trace maps 1 simulated time unit
+to 1 ms (``ts`` is in microseconds) so timelines are comfortably
+zoomable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from .registry import MetricsRegistry
+from .spans import SpanTracker
+
+__all__ = [
+    "eventlog_to_jsonl",
+    "prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Simulated-time → Chrome-trace microseconds (1 unit = 1 ms).
+_TS_SCALE = 1000.0
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays, sets and tuples to JSON-safe types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)  # numpy array
+    if callable(tolist):
+        return tolist()
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def eventlog_to_jsonl(log, destination: Union[str, Path, IO[str]]) -> int:
+    """Write the event log as JSON Lines; returns the record count.
+
+    Each line is ``{"time": …, "kind": …, "node": …, "fields": {…}}``.
+    """
+
+    def _write(fp) -> int:
+        count = 0
+        for record in log.records:
+            fp.write(
+                json.dumps(
+                    {
+                        "time": record.time,
+                        "kind": record.kind,
+                        "node": record.node,
+                        "fields": _jsonable(record.as_dict()),
+                    },
+                    sort_keys=True,
+                )
+            )
+            fp.write("\n")
+            count += 1
+        return count
+
+    if hasattr(destination, "write"):
+        return _write(destination)
+    with open(destination, "w", encoding="utf-8") as fp:
+        return _write(fp)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_label_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value):
+            return str(int(value))
+    text = str(value)
+    return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_sample_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registered metric in the Prometheus text format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for labels, value in metric.samples():
+                le = _format_label_value(labels["le"])
+                lines.append(f'{metric.name}_bucket{{le="{le}"}} {int(value)}')
+            lines.append(f"{metric.name}_sum {_format_sample_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+            continue
+        for labels, value in metric.samples():
+            if labels:
+                rendered = ",".join(
+                    f'{name}="{_format_label_value(val)}"'
+                    for name, val in labels.items()
+                )
+                lines.append(f"{metric.name}{{{rendered}}} {_format_sample_value(value)}")
+            else:
+                lines.append(f"{metric.name} {_format_sample_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def chrome_trace(
+    tracker: SpanTracker,
+    *,
+    levels: Optional[Dict[int, int]] = None,
+) -> dict:
+    """Render the span table as a Chrome trace-event document.
+
+    ``levels`` maps node id → tree level; it fixes the *process* row a
+    node's spans appear on.  Spans carrying a ``level`` attribute (the
+    detector roles stamp one) win over the mapping; unknown nodes land
+    on level 0.
+    """
+    levels = levels or {}
+
+    def _level(span) -> int:
+        level = span.attrs.get("level")
+        if level is None and span.node is not None:
+            level = levels.get(span.node)
+        return int(level) if level is not None else 0
+
+    events: List[dict] = []
+    seen_rows = set()
+    for span in tracker.spans:
+        pid = _level(span)
+        tid = span.node if span.node is not None else 0
+        if (pid, "p") not in seen_rows:
+            seen_rows.add((pid, "p"))
+            events.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": f"tree level {pid}"},
+                }
+            )
+        if (pid, tid) not in seen_rows:
+            seen_rows.add((pid, tid))
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": f"P{tid}"},
+                }
+            )
+        start = span.start * _TS_SCALE
+        end = (span.end if span.end is not None else span.start) * _TS_SCALE
+        args = {str(k): _jsonable(v) for k, v in span.attrs.items()}
+        args["sid"] = span.sid
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.marks:
+            args["marks"] = [
+                {"t": t, "label": label} for t, label in span.marks
+            ]
+        events.append(
+            {
+                "name": span.name,
+                "cat": "detect",
+                "ph": "X",
+                "ts": round(start, 3),
+                "dur": round(max(end - start, 1.0), 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if span.parent is not None:
+            parent = tracker.spans[span.parent]
+            parent_ts = (
+                parent.end if parent.end is not None else parent.start
+            ) * _TS_SCALE
+            flow = {"cat": "causal", "id": span.sid, "name": "aggregates"}
+            events.append(
+                {**flow, "ph": "s", "pid": pid, "tid": tid, "ts": round(end, 3)}
+            )
+            events.append(
+                {
+                    **flow, "ph": "f", "bp": "e", "pid": _level(parent),
+                    "tid": parent.node if parent.node is not None else 0,
+                    "ts": round(max(parent_ts, end), 3),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracker: SpanTracker,
+    path: Union[str, Path],
+    *,
+    levels: Optional[Dict[int, int]] = None,
+) -> int:
+    """Write :func:`chrome_trace` JSON to *path*; returns the event count."""
+    document = chrome_trace(tracker, levels=levels)
+    Path(path).write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    return len(document["traceEvents"])

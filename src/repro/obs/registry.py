@@ -1,0 +1,266 @@
+"""Metrics registry — counters, gauges and fixed-bucket histograms.
+
+The registry is the single store for a run's quantitative telemetry.
+Every :class:`~repro.sim.kernel.Simulator` owns one (via its
+:class:`~repro.obs.telemetry.Telemetry`), and every instrumented layer
+— the network fabric, the detector roles, the heartbeat monitors —
+registers its metrics there instead of keeping hand-rolled counters.
+``(seed, workload, topology)`` determinism extends to the registry: two
+identical runs produce byte-identical expositions.
+
+Design notes
+------------
+* Metrics are *get-or-create*: registering the same name twice returns
+  the same object; re-registering under a different type raises.
+* :class:`CounterVec` subclasses :class:`collections.Counter`, so hot
+  paths keep the idiomatic ``vec[key] += 1`` — a labelled metric *is* a
+  Counter whose keys are label-value tuples (or a scalar when the vec
+  has a single label).
+* :class:`Histogram` keeps both fixed buckets (for Prometheus
+  exposition) and the raw observations (for exact percentiles at
+  simulation scale).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from collections import Counter as _Counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CounterMetric",
+    "Gauge",
+    "Histogram",
+    "CounterVec",
+    "GaugeVec",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Generic duration buckets in simulated time units.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, math.inf,
+)
+
+LabelKey = Union[object, Tuple[object, ...]]
+
+
+class CounterMetric:
+    """A single monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def samples(self) -> Iterator[Tuple[dict, float]]:
+        yield {}, self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def samples(self) -> Iterator[Tuple[dict, float]]:
+        yield {}, self.value
+
+
+class _VecMixin:
+    """Shared label handling for Counter/Gauge vectors."""
+
+    labelnames: Tuple[str, ...]
+
+    def _label_dict(self, key: LabelKey) -> dict:
+        if len(self.labelnames) == 1 and not isinstance(key, tuple):
+            key = (key,)
+        if not isinstance(key, tuple) or len(key) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} expects {len(self.labelnames)} label "
+                f"value(s) {self.labelnames}, got {key!r}"
+            )
+        return dict(zip(self.labelnames, key))
+
+    def samples(self) -> Iterator[Tuple[dict, float]]:
+        # Deterministic output order regardless of increment order.
+        for key in sorted(self, key=lambda k: str(k)):
+            yield self._label_dict(key), self[key]
+
+
+class CounterVec(_VecMixin, _Counter):
+    """A labelled counter: a ``Counter`` whose keys are label values.
+
+    Hot paths use plain Counter syntax — ``vec[("control", "Heartbeat")]
+    += 1`` or, for a single-label vec, ``vec[pid] += 1``.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__()
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+
+class GaugeVec(_VecMixin, dict):
+    """A labelled gauge; assign with ``vec[key] = value``."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__()
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact percentiles.
+
+    Bucket semantics follow Prometheus: an observation lands in the
+    first bucket whose upper edge is ``>= value`` (``le`` — less than or
+    equal), and exposition is cumulative.  The raw observations are kept
+    sorted so :meth:`percentile` is exact, not interpolated from
+    buckets.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        edges = sorted(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket")
+        if edges[-1] != math.inf:
+            edges.append(math.inf)
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(edges)
+        self.bucket_counts: List[int] = [0] * len(edges)
+        self.sum: float = 0.0
+        self._values: List[float] = []
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        insort(self._values, value)
+
+    def cumulative_counts(self) -> List[int]:
+        total, out = 0, []
+        for count in self.bucket_counts:
+            total += count
+            out.append(total)
+        return out
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact q-th percentile (``q`` in [0, 100]) of all observations,
+        or ``None`` when nothing was observed."""
+        if not self._values:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        index = max(0, math.ceil(q / 100.0 * len(self._values)) - 1)
+        return self._values[index]
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """All observations, sorted ascending."""
+        return tuple(self._values)
+
+    def samples(self) -> Iterator[Tuple[dict, float]]:
+        for edge, cumulative in zip(self.buckets, self.cumulative_counts()):
+            yield {"le": edge}, cumulative
+
+
+Metric = Union[CounterMetric, Gauge, Histogram, CounterVec, GaugeVec]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls, *args) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+        metric = cls(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> CounterMetric:
+        return self._get_or_create(name, CounterMetric, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, help, buckets)
+
+    def counter_vec(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> CounterVec:
+        return self._get_or_create(name, CounterVec, help, labelnames)
+
+    def gauge_vec(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> GaugeVec:
+        return self._get_or_create(name, GaugeVec, help, labelnames)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> List[Metric]:
+        """All registered metrics, sorted by name (exposition order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]

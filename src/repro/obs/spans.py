@@ -1,0 +1,188 @@
+"""Causal span tracing for detection artifacts.
+
+Every artifact of the detection pipeline gets a *span* — a named,
+timed record with an optional parent:
+
+* ``interval`` — a local-predicate interval at a process, from the
+  event that opened it (``min(x)``) to the event that closed it;
+* ``report`` — an aggregated interval (``⊓`` of a subtree solution)
+  reported one hop up the spanning tree;
+* ``alarm`` — a ``Definitely(Φ)`` announcement at a (partition-)root.
+
+Parent links run *downwards from the announcement*: an alarm span adopts
+the spans of the solution heads that formed it, each ``report`` span
+adopts the spans of the intervals it aggregated, and so on recursively
+to the concrete intervals — so an alarm can be explained end to end
+("which interval at which leaf, opened when, travelled through which
+levels").  Spans also carry *marks*: timestamped lifecycle points such
+as ``enqueued`` and ``pruned`` recorded by the detection cores.
+
+Span ids are sequential, so a deterministic simulation produces a
+byte-identical span table on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "SpanTracker", "interval_key"]
+
+
+def interval_key(interval) -> tuple:
+    """Span-registry key for a (possibly aggregated) interval.
+
+    Namespaced by artifact type: a leaf's singleton aggregate has the
+    same bounds and sequence number as the concrete interval it wraps,
+    so ``Interval.key()`` alone would collide."""
+    kind = "agg" if getattr(interval, "is_aggregated", False) else "ivl"
+    return (kind, *interval.key())
+
+
+class Span:
+    """One timed, attributed node of a causal trace tree."""
+
+    __slots__ = ("sid", "name", "node", "start", "end", "parent", "attrs", "marks")
+
+    def __init__(
+        self,
+        sid: int,
+        name: str,
+        start: float,
+        *,
+        node: Optional[int] = None,
+        parent: Optional[int] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.sid = sid
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent  # parent span id, set once
+        self.attrs: dict = attrs or {}
+        self.marks: List[Tuple[float, str]] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def mark(self, time: float, label: str) -> None:
+        """Record a lifecycle point (``enqueued``, ``pruned``, …)."""
+        self.marks.append((time, label))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = f"P{self.node}" if self.node is not None else "-"
+        return (
+            f"Span#{self.sid}({self.name} @{who} "
+            f"[{self.start:.2f}, {self.end if self.end is not None else '…'}])"
+        )
+
+
+class SpanTracker:
+    """All spans of one run, with key-based lookup and tree queries."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._by_key: Dict[tuple, Span] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        start: float,
+        *,
+        node: Optional[int] = None,
+        key: Optional[tuple] = None,
+        **attrs,
+    ) -> Span:
+        """Open a new span; ``key`` (e.g. ``Interval.key()``) registers
+        it for later :meth:`get` / :meth:`adopt` lookups."""
+        span = Span(len(self.spans), name, start, node=node, attrs=attrs)
+        self.spans.append(span)
+        if key is not None:
+            self._by_key[key] = span
+        return span
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        node: Optional[int] = None,
+        key: Optional[tuple] = None,
+        **attrs,
+    ) -> Span:
+        """Create an already-finished span (the common case: the artifact
+        completed at creation time)."""
+        span = self.begin(name, start, node=node, key=key, **attrs)
+        span.end = end
+        return span
+
+    # ------------------------------------------------------------------
+    # lookup & parentage
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> Optional[Span]:
+        return self._by_key.get(key)
+
+    def adopt(self, parent: Span, child_key: tuple) -> bool:
+        """Parent the span registered under *child_key* beneath *parent*
+        (first parent wins — an artifact is explained by the first
+        announcement that consumed it).  Returns True when a link was
+        created."""
+        child = self._by_key.get(child_key)
+        if child is None or child.parent is not None or child is parent:
+            return False
+        child.parent = parent.sid
+        return True
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent == span.sid]
+
+    def named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def alarms(self) -> List[Span]:
+        """Root announcement spans, in detection order."""
+        return self.named("alarm")
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def walk(self, span: Span, depth: int = 0) -> Iterator[Tuple[int, Span]]:
+        """Depth-first traversal of *span*'s subtree as (depth, span)."""
+        yield depth, span
+        for child in self.children_of(span):
+            yield from self.walk(child, depth + 1)
+
+    def render_tree(self, span: Span) -> str:
+        """Indented text rendering of one span tree (an alarm's
+        end-to-end explanation)."""
+        lines = []
+        for depth, s in self.walk(span):
+            who = f"P{s.node}" if s.node is not None else "-"
+            extra = ""
+            if s.name == "alarm" and "latency" in s.attrs:
+                extra = f" latency={s.attrs['latency']:.2f}"
+            if s.marks:
+                points = ", ".join(f"{label}@{t:.2f}" for t, label in s.marks[:4])
+                extra += f" [{points}{', …' if len(s.marks) > 4 else ''}]"
+            end = s.end if s.end is not None else s.start
+            lines.append(
+                f"{'  ' * depth}{s.name} #{s.sid} {who} "
+                f"[{s.start:.2f} → {end:.2f}]{extra}"
+            )
+        return "\n".join(lines)
+
+    def detection_latencies(self) -> List[float]:
+        """Per-alarm detection latency (simulated time from the last
+        solution interval's open to the announcement), for alarms that
+        recorded one."""
+        return [
+            s.attrs["latency"] for s in self.alarms() if "latency" in s.attrs
+        ]

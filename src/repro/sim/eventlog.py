@@ -7,13 +7,22 @@ reconstruct *why* the system did what it did without print-debugging.
 
 The log is always on (appending a dataclass is cheap at simulation
 scale) and queryable by kind; ``render()`` produces the narrated
-timeline the fault-tolerance example prints.
+timeline the fault-tolerance example prints.  Two features keep it
+viable at million-event scale:
+
+* ``EventLog(capacity=...)`` turns it into a ring buffer that retains
+  only the newest *capacity* records (``dropped`` counts evictions);
+* ``subscribe(kind, callback)`` streams records to a callback as they
+  are emitted, so consumers that only need a live feed (exporters,
+  alerting hooks) never require retention at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from bisect import bisect_left, bisect_right
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["LogRecord", "EventLog"]
 
@@ -25,11 +34,16 @@ class LogRecord:
     node: Optional[int]
     fields: tuple  # sorted (key, value) pairs, hashable
 
+    def as_dict(self) -> dict:
+        """Field view as a dict (built once, cached on the record)."""
+        cached = getattr(self, "_dict", None)
+        if cached is None:
+            cached = dict(self.fields)
+            object.__setattr__(self, "_dict", cached)
+        return cached
+
     def get(self, key: str, default=None):
-        for k, v in self.fields:
-            if k == key:
-                return v
-        return default
+        return self.as_dict().get(key, default)
 
     def __str__(self) -> str:
         detail = ", ".join(f"{k}={v}" for k, v in self.fields)
@@ -38,11 +52,31 @@ class LogRecord:
 
 
 class EventLog:
-    """Append-only structured log with kind-indexed queries."""
+    """Structured log with kind-indexed and time-range queries.
 
-    def __init__(self) -> None:
-        self.records: List[LogRecord] = []
-        self._by_kind: Dict[str, List[LogRecord]] = {}
+    Parameters
+    ----------
+    capacity:
+        ``None`` (default) retains every record — the right mode for
+        tests and short runs.  An integer turns the log into a ring
+        buffer of that many records; evictions are counted in
+        ``dropped`` and subscribers still see every record.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be a positive integer or None")
+        self.capacity = capacity
+        self.records: "deque[LogRecord] | List[LogRecord]" = (
+            [] if capacity is None else deque()
+        )
+        self.dropped = 0
+        self._by_kind: Dict[str, deque] = {}
+        self._subscribers: Dict[Optional[str], List[Callable[[LogRecord], None]]] = {}
+        # emit() keeps _times in lockstep with records (unbounded mode
+        # only) so between() can bisect instead of scanning.
+        self._times: List[float] = []
+        self._sorted = True
 
     def emit(self, time: float, kind: str, node: Optional[int] = None, **fields) -> None:
         record = LogRecord(
@@ -51,24 +85,60 @@ class EventLog:
             node=node,
             fields=tuple(sorted(fields.items())),
         )
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            oldest = self.records.popleft()
+            # The globally oldest record is also the oldest of its kind.
+            self._by_kind[oldest.kind].popleft()
+            self.dropped += 1
         self.records.append(record)
-        self._by_kind.setdefault(kind, []).append(record)
+        self._by_kind.setdefault(kind, deque()).append(record)
+        if self.capacity is None:
+            if self._times and time < self._times[-1]:
+                self._sorted = False
+            self._times.append(time)
+        for callback in self._subscribers.get(kind, ()):
+            callback(record)
+        for callback in self._subscribers.get(None, ()):
+            callback(record)
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, kind: Optional[str], callback: Callable[[LogRecord], None]
+    ) -> Callable[[], None]:
+        """Stream records of *kind* (``None`` = every kind) to *callback*
+        as they are emitted; returns an unsubscribe function."""
+        callbacks = self._subscribers.setdefault(kind, [])
+        callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)
 
     def of_kind(self, kind: str) -> List[LogRecord]:
-        return list(self._by_kind.get(kind, []))
+        return list(self._by_kind.get(kind, ()))
 
     def kinds(self) -> List[str]:
-        return sorted(self._by_kind)
+        return sorted(k for k, records in self._by_kind.items() if records)
 
-    def between(self, start: float, end: float) -> Iterator[LogRecord]:
-        return (r for r in self.records if start <= r.time <= end)
+    def between(self, start: float, end: float) -> List[LogRecord]:
+        """Records with ``start <= time <= end``.  O(log n + k) in the
+        common case (unbounded log, monotone emit times)."""
+        if self.capacity is None and self._sorted:
+            lo = bisect_left(self._times, start)
+            hi = bisect_right(self._times, end)
+            return self.records[lo:hi]
+        return [r for r in self.records if start <= r.time <= end]
 
     def render(self, *, kinds: Optional[List[str]] = None, limit: int = 0) -> str:
-        records = self.records
+        records = list(self.records)
         if kinds is not None:
             wanted = set(kinds)
             records = [r for r in records if r.kind in wanted]

@@ -42,7 +42,8 @@ class Simulator:
         only on its name, never on creation order.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, log_capacity: Optional[int] = None) -> None:
+        from ..obs.telemetry import Telemetry
         from .eventlog import EventLog
 
         self.now: float = 0.0
@@ -51,8 +52,11 @@ class Simulator:
         self._tie = 0
         self._rngs: Dict[str, np.random.Generator] = {}
         self.events_executed = 0
-        #: structured observability log (see repro.sim.eventlog)
-        self.log = EventLog()
+        #: structured observability log (see repro.sim.eventlog);
+        #: ``log_capacity`` bounds it to a ring buffer for long runs
+        self.log = EventLog(capacity=log_capacity)
+        #: metrics registry + causal span tracker (see repro.obs)
+        self.telemetry = Telemetry()
 
     def emit(self, kind: str, node=None, **fields) -> None:
         """Record a structured observability event at the current time."""

@@ -22,7 +22,6 @@ All message counts are recorded per plane/type for the experiments.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Callable, Dict, Optional, Sequence
 
 import networkx as nx
@@ -115,12 +114,36 @@ class Network:
         self.enforce_edges = enforce_edges
         self._handlers: Dict[int, Callable[[int, object, str], None]] = {}
         self._dead: set[int] = set()
-        # message counters: (plane, type_name) -> hop-count
-        self.sent: Counter = Counter()
-        self.sent_entries: Counter = Counter()  # bandwidth, in vector entries
-        self.delivered: Counter = Counter()
-        self.dropped: Counter = Counter()
-        self.per_node_sent: Counter = Counter()
+        # Message counters live in the run's metrics registry
+        # (repro.obs): Counter semantics are unchanged — each is a
+        # collections.Counter — but the registry exposes them to the
+        # Prometheus exporter and the repro-trace CLI for free.
+        registry = sim.telemetry.registry
+        self.sent = registry.counter_vec(
+            "repro_net_sent_total",
+            "Messages sent, hop-counted, by plane and message type.",
+            ("plane", "type"),
+        )
+        self.sent_entries = registry.counter_vec(  # bandwidth, vector entries
+            "repro_net_sent_entries_total",
+            "Transmitted volume in vector entries, by plane and type.",
+            ("plane", "type"),
+        )
+        self.delivered = registry.counter_vec(
+            "repro_net_delivered_total",
+            "Messages delivered to a live handler, by plane and type.",
+            ("plane", "type"),
+        )
+        self.dropped = registry.counter_vec(
+            "repro_net_dropped_total",
+            "Messages dropped (dead node or no handler), by plane and type.",
+            ("plane", "type"),
+        )
+        self.per_node_sent = registry.counter_vec(
+            "repro_net_node_sent_total",
+            "Messages sent per node, hop-counted.",
+            ("node",),
+        )
 
     # ------------------------------------------------------------------
     def attach(self, node_id: int, handler: Callable[[int, object, str], None]) -> None:

@@ -21,6 +21,7 @@ from typing import List, Optional, Protocol
 
 from ..clocks import Timestamp, VectorClock
 from ..intervals import Interval
+from ..obs.spans import interval_key
 from .kernel import Simulator
 from .messages import AppMessage
 from .network import Network
@@ -65,9 +66,15 @@ class MonitoredProcess:
         self.role = role
         self.alive = True
         self._run_start: Optional[Timestamp] = None
+        self._run_start_time: Optional[float] = None
         self._run_last: Optional[Timestamp] = None
         self._interval_seq = 0
         self.local_intervals: List[Interval] = []
+        self._interval_counter = sim.telemetry.registry.counter_vec(
+            "repro_intervals_total",
+            "Local predicate intervals completed, per node.",
+            ("node",),
+        )
         network.attach(pid, self._on_message)
         if role is not None:
             role.bind(self)
@@ -80,6 +87,7 @@ class MonitoredProcess:
         if self.predicate:
             if self._run_start is None:
                 self._run_start = ts
+                self._run_start_time = self.sim.now
             self._run_last = ts
         elif self._run_start is not None:
             self._close_interval()
@@ -95,6 +103,19 @@ class MonitoredProcess:
         self._run_start = None
         self._run_last = None
         self.local_intervals.append(interval)
+        # Every interval opens a span keyed by its identity, so the
+        # detection layers can parent reports and alarms back onto it.
+        self.sim.telemetry.spans.record(
+            "interval",
+            self._run_start_time if self._run_start_time is not None else self.sim.now,
+            self.sim.now,
+            node=self.pid,
+            key=interval_key(interval),
+            owner=self.pid,
+            seq=interval.seq,
+        )
+        self._run_start_time = None
+        self._interval_counter[self.pid] += 1
         if self.role is not None:
             self.role.on_local_interval(interval)
 
@@ -172,6 +193,7 @@ class MonitoredProcess:
         self.network.revive(self.pid)
         self.predicate = False
         self._run_start = None
+        self._run_start_time = None
         self._run_last = None
 
     def finish(self) -> None:

@@ -1,0 +1,88 @@
+"""Integration tests: the ``repro-trace`` command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import build_parser, main
+
+
+def _run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestArgumentParsing:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+
+    def test_crash_spec_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--crash", "notaspec"])
+
+    def test_window_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--window", "9:1"])
+
+
+class TestRuns:
+    def test_small_tree_run_summary(self, capsys):
+        out = _run(
+            capsys, "--topology", "tree", "--nodes", "7", "--degree", "2",
+            "--epochs", "3", "--seed", "1",
+        )
+        assert "n=7 topology=tree" in out
+        assert "alarms:" in out
+        assert "messages:" in out
+
+    def test_acceptance_scenario_twenty_nodes_with_crash(self, capsys, tmp_path):
+        """The issue's acceptance criterion: a 20-node crash scenario
+        exports a Chrome trace and a Prometheus dump with per-level
+        counters and the detection-latency histogram, and prints
+        p50/p95/p99."""
+        chrome = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "events.jsonl"
+        out = _run(
+            capsys, "--nodes", "20", "--crash", "30:7", "--extra-time", "20",
+            "--chrome", str(chrome), "--prom", str(prom),
+            "--jsonl", str(jsonl),
+        )
+        assert "detection latency: p50=" in out
+        assert "p95=" in out and "p99=" in out
+        assert "realized α by level:" in out
+        text = prom.read_text()
+        assert "repro_detection_latency_bucket" in text
+        assert "repro_level_detections_total" in text
+        assert "repro_net_sent_total" in text
+        document = json.loads(chrome.read_text())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"M", "X"} <= phases
+        assert jsonl.read_text().strip()  # crash run always logs events
+
+    def test_deterministic_across_invocations(self, capsys, tmp_path):
+        args = ["--nodes", "12", "--epochs", "3", "--seed", "5"]
+        first = _run(capsys, *args, "--prom", str(tmp_path / "a.prom"))
+        second = _run(capsys, *args, "--prom", str(tmp_path / "b.prom"))
+        assert first.replace("a.prom", "X") == second.replace("b.prom", "X")
+        assert (tmp_path / "a.prom").read_text() == (
+            tmp_path / "b.prom"
+        ).read_text()
+
+    def test_spans_view_renders_alarm_trees(self, capsys):
+        out = _run(
+            capsys, "--topology", "tree", "--nodes", "7", "--epochs", "3",
+            "--seed", "3", "--spans",
+        )
+        assert "alarm #" in out
+        assert "interval #" in out
+
+    def test_window_view_lists_events(self, capsys):
+        out = _run(
+            capsys, "--nodes", "10", "--epochs", "3", "--crash", "20:4",
+            "--extra-time", "10", "--window", "0:1000",
+        )
+        assert "events in [0, 1000]:" in out
+        assert "suspect" in out or "crash" in out or "repair" in out

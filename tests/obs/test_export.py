@@ -1,0 +1,159 @@
+"""Unit tests: the run exporters (JSONL, Prometheus text, Chrome trace)."""
+
+import io
+import json
+import math
+
+import numpy as np
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracker,
+    chrome_trace,
+    eventlog_to_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.sim import EventLog
+
+
+def _small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("runs_total", "Completed runs.")
+    counter.inc(3)
+    vec = registry.counter_vec(
+        "sent_total", "Messages sent.", ("plane", "type")
+    )
+    vec[("control", "Report")] += 2
+    vec[("app", "App")] += 5
+    gauge = registry.gauge_vec("alpha", "Realized alpha.", ("level",))
+    gauge[2] = 0.5
+    histogram = registry.histogram("latency", "Latency.", (1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    histogram.observe(9.0)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP alpha Realized alpha.
+# TYPE alpha gauge
+alpha{level="2"} 0.5
+# HELP latency Latency.
+# TYPE latency histogram
+latency_bucket{le="1"} 1
+latency_bucket{le="2"} 2
+latency_bucket{le="+Inf"} 3
+latency_sum 11
+latency_count 3
+# HELP runs_total Completed runs.
+# TYPE runs_total counter
+runs_total 3
+# HELP sent_total Messages sent.
+# TYPE sent_total counter
+sent_total{plane="app",type="App"} 5
+sent_total{plane="control",type="Report"} 2
+"""
+
+
+class TestPrometheus:
+    def test_golden_exposition(self):
+        assert prometheus_text(_small_registry()) == GOLDEN_PROMETHEUS
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        vec = registry.counter_vec("m", "", ("what",))
+        vec['say "hi"\n'] += 1
+        text = prometheus_text(registry)
+        assert r'{what="say \"hi\"\n"}' in text
+
+    def test_float_values_keep_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(0.1 + 0.2)
+        assert f"g {0.1 + 0.2!r}" in prometheus_text(registry)
+
+
+class TestJsonl:
+    def test_round_trips_records(self, tmp_path):
+        log = EventLog()
+        log.emit(1.0, "detection", node=0, members=7)
+        log.emit(2.5, "crash", node=3, peers=frozenset({2, 1}))
+        path = tmp_path / "events.jsonl"
+        assert eventlog_to_jsonl(log, path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {
+            "time": 1.0, "kind": "detection", "node": 0,
+            "fields": {"members": 7},
+        }
+        assert rows[1]["fields"]["peers"] == [1, 2]  # frozenset -> sorted list
+
+    def test_numpy_payloads_are_coerced(self):
+        log = EventLog()
+        log.emit(0.0, "tick", node=None, value=np.int64(4), vec=np.arange(2))
+        buffer = io.StringIO()
+        eventlog_to_jsonl(log, buffer)
+        row = json.loads(buffer.getvalue())
+        assert row["fields"] == {"value": 4, "vec": [0, 1]}
+
+
+def _small_tracker() -> SpanTracker:
+    tracker = SpanTracker()
+    leaf = tracker.record(
+        "interval", 1.0, 2.0, node=3, key=("ivl",), owner=3, level=1
+    )
+    leaf.mark(1.5, "enqueued@P1")
+    root = tracker.record("alarm", 4.0, 4.0, node=0, key=("alarm",), level=2)
+    tracker.adopt(root, ("ivl",))
+    return tracker
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        document = chrome_trace(_small_tracker())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        # Metadata rows: one process per level, one thread per node.
+        names = {
+            (e["name"], e["args"]["name"]) for e in by_phase["M"]
+        }
+        assert ("process_name", "tree level 1") in names
+        assert ("process_name", "tree level 2") in names
+        assert ("thread_name", "P3") in names and ("thread_name", "P0") in names
+        # Complete events: 1 sim unit = 1000 us.
+        interval = next(e for e in by_phase["X"] if e["name"] == "interval")
+        assert interval["ts"] == 1000.0 and interval["dur"] == 1000.0
+        assert interval["pid"] == 1 and interval["tid"] == 3
+        assert interval["args"]["marks"] == [
+            {"t": 1.5, "label": "enqueued@P1"}
+        ]
+        # Flow events pair the child (s) with its parent (f).
+        (start,) = by_phase["s"]
+        (finish,) = by_phase["f"]
+        assert start["id"] == finish["id"] == interval["args"]["sid"]
+        assert finish["pid"] == 2 and finish["tid"] == 0
+
+    def test_levels_mapping_fallback(self):
+        tracker = SpanTracker()
+        tracker.record("interval", 0.0, 1.0, node=7)
+        document = chrome_trace(tracker, levels={7: 4})
+        interval = next(
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        )
+        assert interval["pid"] == 4
+
+    def test_zero_duration_clamped_visible(self):
+        tracker = SpanTracker()
+        tracker.record("alarm", 2.0, 2.0, node=0)
+        event = next(
+            e for e in chrome_trace(tracker)["traceEvents"] if e["ph"] == "X"
+        )
+        assert event["dur"] == 1.0  # minimum visible width
+
+    def test_write_returns_event_count(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(_small_tracker(), path)
+        document = json.loads(path.read_text())
+        assert count == len(document["traceEvents"]) > 0

@@ -1,0 +1,133 @@
+"""Unit tests: the metrics registry (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    CounterMetric,
+    CounterVec,
+    Gauge,
+    GaugeVec,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestScalars:
+    def test_counter_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "help text")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert list(counter.samples()) == [({}, 5)]
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            CounterMetric("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+
+class TestVectors:
+    def test_counter_vec_is_a_counter(self):
+        vec = CounterVec("v", labelnames=("plane", "type"))
+        vec[("control", "Report")] += 1
+        vec[("control", "Report")] += 1
+        vec[("app", "App")] += 1
+        assert vec[("control", "Report")] == 2
+        assert sum(vec.values()) == 3
+        assert dict(vec) == {("control", "Report"): 2, ("app", "App"): 1}
+
+    def test_single_label_scalar_keys(self):
+        vec = CounterVec("v", labelnames=("node",))
+        vec[3] += 1
+        vec[3] += 1
+        labels, value = next(iter(vec.samples()))
+        assert labels == {"node": 3} and value == 2
+
+    def test_samples_order_is_deterministic(self):
+        vec = CounterVec("v", labelnames=("node",))
+        for key in (5, 1, 9, 3):
+            vec[key] += 1
+        assert [labels["node"] for labels, _ in vec.samples()] == [1, 3, 5, 9]
+
+    def test_label_arity_enforced_at_sample_time(self):
+        vec = CounterVec("v", labelnames=("a", "b"))
+        vec[("x",)] += 1
+        with pytest.raises(ValueError):
+            list(vec.samples())
+
+    def test_gauge_vec_assignment(self):
+        vec = GaugeVec("g", labelnames=("level",))
+        vec[2] = 0.5
+        vec[2] = 0.75  # assignment, not accumulation
+        assert vec[2] == 0.75
+
+
+class TestHistogram:
+    def test_bucket_edges_are_le_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)  # exactly on an edge -> that bucket (le semantics)
+        h.observe(1.5)
+        h.observe(2.0)
+        h.observe(5.1)  # beyond the last finite edge -> +Inf
+        assert h.buckets == (1.0, 2.0, 5.0, math.inf)
+        assert h.bucket_counts == [1, 2, 0, 1]
+        assert h.cumulative_counts() == [1, 3, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(9.6)
+
+    def test_inf_edge_appended_once(self):
+        h = Histogram("h", buckets=(1.0, math.inf))
+        assert h.buckets == (1.0, math.inf)
+
+    def test_percentiles_are_exact(self):
+        h = Histogram("h", buckets=(100.0,))
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            h.observe(value)
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 5.0
+        assert h.percentile(0) == 1.0
+        assert h.values == (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_empty_percentile_is_none(self):
+        assert Histogram("h").percentile(50) is None
+
+    def test_percentile_range_checked(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter_vec("v", "help", ("node",))
+        b = registry.counter_vec("v")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.gauge("aa")
+        assert [m.name for m in registry.metrics()] == ["aa", "zz"]
+
+    def test_get_missing_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert "nope" not in registry

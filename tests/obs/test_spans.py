@@ -1,0 +1,161 @@
+"""Unit + integration tests: causal span tracing.
+
+The integration half runs the real hierarchical detector over a
+two-internal-level tree and asserts the alarm's causal ancestry reaches
+the concrete leaf intervals — the tentpole guarantee of the tracing
+layer.
+"""
+
+from repro.experiments import run_hierarchical
+from repro.obs import SpanTracker, interval_key
+from repro.topology import SpanningTree
+from repro.workload import EpochConfig
+
+
+class TestSpanTracker:
+    def test_record_and_lookup(self):
+        tracker = SpanTracker()
+        span = tracker.record("interval", 1.0, 2.0, node=3, key=("k",), owner=3)
+        assert tracker.get(("k",)) is span
+        assert span.duration == 1.0
+        assert span.attrs["owner"] == 3
+
+    def test_adopt_first_parent_wins(self):
+        tracker = SpanTracker()
+        child = tracker.record("interval", 0.0, 1.0, key=("c",))
+        first = tracker.record("report", 2.0, 2.0, key=("p1",))
+        second = tracker.record("report", 3.0, 3.0, key=("p2",))
+        assert tracker.adopt(first, ("c",))
+        assert not tracker.adopt(second, ("c",))
+        assert child.parent == first.sid
+        assert tracker.children_of(first) == [child]
+        assert tracker.children_of(second) == []
+
+    def test_adopt_unknown_key_and_self(self):
+        tracker = SpanTracker()
+        span = tracker.record("report", 0.0, 0.0, key=("a",))
+        assert not tracker.adopt(span, ("missing",))
+        assert not tracker.adopt(span, ("a",))  # never self-parent
+
+    def test_marks_and_walk(self):
+        tracker = SpanTracker()
+        root = tracker.record("alarm", 5.0, 5.0, key=("r",))
+        leaf = tracker.record("interval", 1.0, 2.0, key=("l",))
+        leaf.mark(1.5, "enqueued@P0")
+        tracker.adopt(root, ("l",))
+        assert [(d, s.name) for d, s in tracker.walk(root)] == [
+            (0, "alarm"),
+            (1, "interval"),
+        ]
+        assert "enqueued@P0" in tracker.render_tree(root)
+
+    def test_interval_key_namespaces_by_aggregation(self):
+        class Fake:
+            def __init__(self, aggregated):
+                self.is_aggregated = aggregated
+
+            def key(self):
+                return (0, 1, b"lo", b"hi")
+
+        assert interval_key(Fake(False))[0] == "ivl"
+        assert interval_key(Fake(True))[0] == "agg"
+        assert interval_key(Fake(False)) != interval_key(Fake(True))
+
+
+class TestEndToEndTracing:
+    def _run(self, **kwargs):
+        defaults = dict(
+            seed=3, config=EpochConfig(epochs=4, sync_prob=0.8)
+        )
+        defaults.update(kwargs)
+        return run_hierarchical(SpanningTree.regular(2, 3), **defaults)
+
+    def test_alarm_parentage_spans_two_tree_levels(self):
+        result = self._run()
+        tracker = result.sim.telemetry.spans
+        alarms = tracker.alarms()
+        assert alarms, "scenario must produce at least one detection"
+        for alarm in alarms:
+            names = {}
+            for depth, span in tracker.walk(alarm):
+                names.setdefault(span.name, []).append(depth)
+            # A 3-level tree: alarm at the root adopts level-2 reports,
+            # which adopt leaf reports/intervals — two levels of reports
+            # below the alarm, concrete intervals at the bottom.
+            assert "report" in names and "interval" in names
+            assert max(names["report"]) >= 2
+            assert max(names["interval"]) > max(names["report"])
+            # Every concrete solution interval is reachable from the alarm.
+            leaf_nodes = {
+                s.node
+                for _, s in tracker.walk(alarm)
+                if s.name == "interval"
+            }
+            assert len(leaf_nodes) == result.tree.n
+
+    def test_reports_carry_level_attribute(self):
+        result = self._run()
+        tracker = result.sim.telemetry.spans
+        tree = result.tree
+        for span in tracker.named("report"):
+            assert span.attrs["level"] == tree.level(span.node)
+        for span in tracker.named("alarm"):
+            assert span.attrs["level"] == tree.level(span.node)
+
+    def test_detection_latency_histogram_matches_alarms(self):
+        result = self._run()
+        telemetry = result.sim.telemetry
+        latencies = telemetry.spans.detection_latencies()
+        assert len(latencies) == len(result.detections)
+        assert telemetry.detection_latency.count == len(result.detections)
+        assert all(latency >= 0.0 for latency in latencies)
+        assert sorted(latencies) == list(telemetry.detection_latency.values)
+
+    def test_latency_equals_alarm_time_minus_last_open(self):
+        result = self._run()
+        tracker = result.sim.telemetry.spans
+        for record, alarm in zip(result.detections, tracker.alarms()):
+            opens = [
+                tracker.get(interval_key(leaf)).start
+                for leaf in record.solution.concrete_intervals()
+            ]
+            assert alarm.attrs["latency"] == max(
+                0.0, record.time - max(opens)
+            )
+
+    def test_latency_is_zero_safe_without_interval_spans(self):
+        # Regression: an alarm whose solution intervals were never traced
+        # (e.g. state restored from outside the simulation) must fall
+        # back to latency 0, never negative or crashing.
+        result = self._run()
+        telemetry = result.sim.telemetry
+        role = next(
+            r for r in result.roles.values() if r.parent_id is None
+        )
+        record = role.detections[0]
+        telemetry.spans._by_key.clear()  # drop every traced interval
+        before = telemetry.detection_latency.count
+        role._record_alarm_telemetry(record)
+        assert telemetry.detection_latency.count == before + 1
+        assert telemetry.spans.alarms()[-1].attrs["latency"] == 0.0
+
+    def test_core_lifecycle_marks_recorded(self):
+        result = self._run()
+        tracker = result.sim.telemetry.spans
+        labels = {
+            label.split("@")[0]
+            for span in tracker.spans
+            for _, label in span.marks
+        }
+        assert "enqueued" in labels
+        assert "prune_solution" in labels
+
+    def test_spans_deterministic_across_runs(self):
+        a = self._run().sim.telemetry.spans
+        b = self._run().sim.telemetry.spans
+        assert len(a) == len(b)
+        for x, y in zip(a.spans, b.spans):
+            assert (x.sid, x.name, x.node, x.start, x.end, x.parent) == (
+                y.sid, y.name, y.node, y.start, y.end, y.parent
+            )
+            assert x.marks == y.marks

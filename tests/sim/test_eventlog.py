@@ -35,6 +35,94 @@ class TestEventLog:
         assert record.time == 5.0 and record.kind == "tick"
 
 
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(float(i), "tick", node=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r.node for r in log.records] == [2, 3, 4]
+
+    def test_eviction_updates_kind_index(self):
+        log = EventLog(capacity=2)
+        log.emit(0.0, "a")
+        log.emit(1.0, "b")
+        log.emit(2.0, "a")  # evicts the t=0 "a"
+        assert [r.time for r in log.of_kind("a")] == [2.0]
+        assert [r.time for r in log.of_kind("b")] == [1.0]
+        log.emit(3.0, "a")  # evicts the only "b"
+        assert log.kinds() == ["a"]
+
+    def test_capacity_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_between_still_works_when_bounded(self):
+        log = EventLog(capacity=4)
+        for i in range(8):
+            log.emit(float(i), "tick")
+        assert [r.time for r in log.between(5.0, 6.0)] == [5.0, 6.0]
+
+
+class TestSubscribe:
+    def test_kind_and_wildcard_callbacks(self):
+        log = EventLog()
+        detections, everything = [], []
+        log.subscribe("detection", detections.append)
+        log.subscribe(None, everything.append)
+        log.emit(1.0, "detection", node=0)
+        log.emit(2.0, "crash", node=3)
+        assert [r.kind for r in detections] == ["detection"]
+        assert [r.kind for r in everything] == ["detection", "crash"]
+
+    def test_unsubscribe(self):
+        log = EventLog()
+        seen = []
+        unsubscribe = log.subscribe("tick", seen.append)
+        log.emit(1.0, "tick")
+        unsubscribe()
+        unsubscribe()  # idempotent
+        log.emit(2.0, "tick")
+        assert len(seen) == 1
+
+    def test_subscribers_see_records_a_ring_buffer_drops(self):
+        log = EventLog(capacity=1)
+        seen = []
+        log.subscribe(None, seen.append)
+        for i in range(4):
+            log.emit(float(i), "tick")
+        assert len(log) == 1 and len(seen) == 4
+
+
+class TestQueryPerformance:
+    def test_between_bisects_monotone_unbounded_log(self):
+        log = EventLog()
+        for i in range(100):
+            log.emit(float(i), "tick")
+        window = log.between(10.0, 12.0)
+        assert [r.time for r in window] == [10.0, 11.0, 12.0]
+        # Inclusive on both edges, empty when nothing matches.
+        assert log.between(200.0, 300.0) == []
+
+    def test_between_handles_out_of_order_times(self):
+        log = EventLog()
+        log.emit(5.0, "tick")
+        log.emit(1.0, "tick")  # regression: must not trust bisect now
+        log.emit(3.0, "tick")
+        assert [r.time for r in log.between(0.0, 4.0)] == [1.0, 3.0]
+
+    def test_as_dict_is_cached(self):
+        log = EventLog()
+        log.emit(1.0, "detection", node=0, members=7)
+        (record,) = log.records
+        assert record.as_dict() is record.as_dict()
+        assert record.get("members") == 7
+        assert record.get("missing", "fallback") == "fallback"
+
+
 class TestLifecycleNarration:
     def test_failure_run_produces_the_full_story(self):
         tree = SpanningTree.regular(2, 3)

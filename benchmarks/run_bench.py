@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Perf-baseline runner: emits ``BENCH_core_ops.json`` and
+``BENCH_hierarchy.json`` at the repo root.
+
+Two benchmarks, both timed for the scalar reference engine and the
+vectorized ``HeadMatrix`` engine (see ``docs/performance.md``):
+
+* **core_ops** — offer throughput of one ``RepeatedDetectionCore``
+  (k queues, n vector components) on a bursty synthetic stream: most
+  queues fill several intervals deep, then the last queue's arrivals
+  unblock a cascade of solutions — the regime a hierarchical node sees
+  when children report asynchronously.  Also runs the determinism
+  check: for every seed the two engines must produce identical solution
+  sequences, identical prune-event streams and identical logical
+  comparison counts.
+* **hierarchy** — wall-clock of a full ``run_hierarchical`` simulation
+  (tree, network, workload included), flipped between engines via
+  ``set_default_engine``.
+
+Timings are best-of-``--repeats`` after a warmup run, so one-off
+scheduler noise doesn't pollute the baseline.  ``--quick`` shrinks the
+workloads for CI smoke (the JSON schema is identical).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+SCHEMA = "repro-bench/1"
+
+
+# ----------------------------------------------------------------------
+# core-ops workload
+# ----------------------------------------------------------------------
+def burst_stream(seed, *, k, n, offers, depth=6, skew_prob=0.08):
+    """The core-ops stream: per epoch, queues ``0 .. k-2`` each receive
+    ``depth`` intervals whose bounds advance in lock-step windows
+    (guaranteed overlap within a window, guaranteed incompatibility
+    across windows); queue ``k-1``'s batch arrives last and unblocks a
+    burst of ``depth`` solutions.  ``skew_prob`` replaces an interval
+    with a jittered one to keep incompatibility pruning exercised.
+    """
+    from repro.intervals import Interval
+
+    rng = np.random.default_rng(seed)
+    seqs = [0] * k
+    out = []
+    base = np.zeros(n, dtype=np.int64)
+    while len(out) < offers:
+        windows = [base + 10 * d for d in range(depth)]
+        for q in list(range(k - 1)) + [k - 1]:
+            for d in range(depth):
+                w = windows[d]
+                if rng.random() < skew_prob:
+                    lo = w + rng.integers(0, 8, n)
+                    hi = lo + rng.integers(0, 8, n)
+                else:
+                    lo = w + rng.integers(0, 3, n)
+                    hi = w + 5 + rng.integers(0, 3, n)
+                out.append((q, Interval(owner=q, seq=seqs[q], lo=lo, hi=hi)))
+                seqs[q] += 1
+        base = base + 10 * depth
+    return out[:offers]
+
+
+def _drive(stream, engine, k, record_events=False):
+    from repro.detect import RepeatedDetectionCore
+
+    events = []
+    observer = (
+        (lambda ev, key, iv: events.append((ev, key, iv.key())))
+        if record_events
+        else None
+    )
+    core = RepeatedDetectionCore(range(k), engine=engine, observer=observer)
+    solutions = []
+    t0 = time.perf_counter()
+    for key, interval in stream:
+        solutions.extend(core.offer(key, interval))
+    elapsed = time.perf_counter() - t0
+    return core, elapsed, solutions, events
+
+
+def _solution_signature(solutions):
+    return [
+        (s.index, sorted((k, iv.key()) for k, iv in s.heads.items()))
+        for s in solutions
+    ]
+
+
+def bench_core_ops(args) -> dict:
+    k, n = args.k, args.n
+    offers = 2000 if args.quick else args.offers
+    repeats = 3 if args.quick else args.repeats
+    stream = burst_stream(args.timing_seed, k=k, n=n, offers=offers)
+
+    timings = {}
+    stats = {}
+    for engine in ("scalar", "matrix"):
+        _drive(stream, engine, k)  # warmup
+        runs = [_drive(stream, engine, k)[1] for _ in range(repeats)]
+        core, _, solutions, _ = _drive(stream, engine, k)
+        timings[engine] = {
+            "best_s": min(runs),
+            "runs_s": runs,
+            "offers_per_s": offers / min(runs),
+        }
+        stats[engine] = {
+            "detections": core.stats.detections,
+            "comparisons": core.stats.comparisons,
+            "pruned_incompatible": core.stats.pruned_incompatible,
+            "pruned_after_solution": core.stats.pruned_after_solution,
+        }
+
+    determinism = {"seeds": list(args.det_seeds), "checks": []}
+    for seed in args.det_seeds:
+        det_stream = burst_stream(seed, k=k, n=n, offers=offers)
+        cs, _, ss, es = _drive(det_stream, "scalar", k, record_events=True)
+        cm, _, sm, em = _drive(det_stream, "matrix", k, record_events=True)
+        determinism["checks"].append(
+            {
+                "seed": seed,
+                "solutions": len(ss),
+                "identical_solutions": _solution_signature(ss)
+                == _solution_signature(sm),
+                "identical_prune_events": es == em,
+                "identical_comparisons": cs.stats.comparisons
+                == cm.stats.comparisons,
+            }
+        )
+    determinism["all_identical"] = all(
+        c["identical_solutions"]
+        and c["identical_prune_events"]
+        and c["identical_comparisons"]
+        for c in determinism["checks"]
+    )
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "core_ops",
+        "quick": args.quick,
+        "params": {
+            "k": k,
+            "n": n,
+            "offers": offers,
+            "depth": 6,
+            "skew_prob": 0.08,
+            "repeats": repeats,
+            "timing_seed": args.timing_seed,
+        },
+        "engines": timings,
+        "engine_stats": stats,
+        "speedup": timings["scalar"]["best_s"] / timings["matrix"]["best_s"],
+        "determinism": determinism,
+    }
+
+
+# ----------------------------------------------------------------------
+# hierarchy end-to-end
+# ----------------------------------------------------------------------
+def bench_hierarchy(args) -> dict:
+    from repro.detect.core import get_default_engine, set_default_engine
+    from repro.experiments.harness import run_hierarchical
+    from repro.topology import SpanningTree
+    from repro.workload.generator import EpochConfig
+
+    # Full mode uses the paper's wide-fanout WSN regime: interior nodes
+    # then run k = degree + 1 = 8 queues, matching the core-ops k.
+    degree, height = (2, 2) if args.quick else (7, 2)
+    epochs = 3 if args.quick else 25
+    repeats = 2 if args.quick else args.repeats
+    config = EpochConfig(epochs=epochs)
+
+    def one_run():
+        tree = SpanningTree.regular(degree, height)
+        t0 = time.perf_counter()
+        result = run_hierarchical(tree, seed=args.timing_seed, config=config)
+        return result, time.perf_counter() - t0
+
+    timings = {}
+    outcomes = {}
+    saved = get_default_engine()
+    try:
+        for engine in ("scalar", "matrix"):
+            set_default_engine(engine)
+            one_run()  # warmup
+            runs = []
+            result = None
+            for _ in range(repeats):
+                result, elapsed = one_run()
+                runs.append(elapsed)
+            timings[engine] = {"best_s": min(runs), "runs_s": runs}
+            outcomes[engine] = {
+                "detections": len(result.detections),
+                "detection_times": [round(d.time, 9) for d in result.detections],
+                "control_messages": result.metrics.control_messages,
+                "comparisons": sum(
+                    node.comparisons for node in result.metrics.per_node
+                ),
+            }
+    finally:
+        set_default_engine(saved)
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "hierarchy",
+        "quick": args.quick,
+        "params": {
+            "tree_degree": degree,
+            "tree_height": height,
+            "nodes": SpanningTree.regular(degree, height).n,
+            "epochs": epochs,
+            "repeats": repeats,
+            "seed": args.timing_seed,
+        },
+        "engines": timings,
+        "engine_outcomes": outcomes,
+        "speedup": timings["scalar"]["best_s"] / timings["matrix"]["best_s"],
+        "identical_outcomes": outcomes["scalar"] == outcomes["matrix"],
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--out-dir", type=Path, default=Path(__file__).resolve().parent.parent)
+    parser.add_argument("--k", type=int, default=8, help="queues (core_ops)")
+    parser.add_argument("--n", type=int, default=64, help="vector components")
+    parser.add_argument("--offers", type=int, default=10000)
+    parser.add_argument("--repeats", type=int, default=5, help="timing runs (best-of)")
+    parser.add_argument("--timing-seed", type=int, default=1)
+    parser.add_argument(
+        "--det-seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="seeds for the scalar-vs-matrix determinism check",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "BENCH_core_ops.json": bench_core_ops(args),
+        "BENCH_hierarchy.json": bench_hierarchy(args),
+    }
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    failed = False
+    for name, payload in results.items():
+        path = args.out_dir / name
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        speed = payload["speedup"]
+        ok = (
+            payload.get("determinism", {}).get("all_identical")
+            if "determinism" in payload
+            else payload.get("identical_outcomes")
+        )
+        print(f"{name}: speedup={speed:.2f}x identical={ok} -> {path}")
+        if not ok:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

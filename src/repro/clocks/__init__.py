@@ -1,5 +1,6 @@
 """Vector clocks, timestamps and cuts (paper Section II-A)."""
 
+from .compare import HeadMatrix
 from .cut import Cut, cut_of_events, is_consistent_cut
 from .encoding import (
     best_encoding,
@@ -23,6 +24,7 @@ from .vector_clock import (
 
 __all__ = [
     "Cut",
+    "HeadMatrix",
     "best_encoding",
     "decode_differential",
     "decode_sparse",

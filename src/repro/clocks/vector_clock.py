@@ -37,7 +37,22 @@ Timestamp = np.ndarray
 
 
 def freeze(values) -> Timestamp:
-    """Return an immutable ``int64`` copy of *values* usable as a timestamp."""
+    """Return an immutable ``int64`` copy of *values* usable as a timestamp.
+
+    Already-frozen timestamps pass through unchanged: an immutable,
+    base-less array can be shared safely, and every ``Interval``
+    constructor funnels its bounds through here, so the pass-through
+    turns re-wrapping (aggregation provenance, message decode, replay)
+    into a no-op instead of an O(n) copy.
+    """
+    if (
+        type(values) is np.ndarray
+        and values.dtype == np.int64
+        and values.ndim == 1
+        and not values.flags.writeable
+        and values.base is None
+    ):
+        return values
     arr = np.array(values, dtype=np.int64, copy=True)
     if arr.ndim != 1:
         raise ValueError(f"a timestamp must be 1-D, got shape {arr.shape}")

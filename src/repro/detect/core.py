@@ -37,6 +37,23 @@ We implement the exact ``≮`` test rather than the paper's line 26–29
 short-circuit, which misses the (vector-equality) boundary case; see
 DESIGN.md.  Both agree on all executions where ``max`` timestamps are
 distinct, which property tests confirm.
+
+Engines
+-------
+The pair tests themselves run on one of two interchangeable engines:
+
+* ``"matrix"`` (default) — a :class:`~repro.clocks.compare.HeadMatrix`
+  keeps the current heads' bounds stacked and memoizes every pair
+  result until a head changes, so an activation costs one batched
+  numpy refresh per changed head plus cache lookups;
+* ``"scalar"`` — the original per-pair :func:`~repro.clocks.vc_less`
+  calls, kept as the reference implementation the benchmarks and the
+  determinism suite compare against.
+
+Both engines produce byte-identical solutions, prune-event streams and
+``stats.comparisons`` counts: ``comparisons`` counts *logical* pair
+tests (each ``≮`` the algorithm consults, cached or not), which is the
+unit of the paper's time analysis.
 """
 
 from __future__ import annotations
@@ -44,10 +61,35 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional
 
 from ..clocks import vc_less
+from ..clocks.compare import HeadMatrix
 from ..intervals import Interval, IntervalQueue
 from .base import CoreStats, Solution
 
-__all__ = ["RepeatedDetectionCore"]
+__all__ = [
+    "RepeatedDetectionCore",
+    "get_default_engine",
+    "set_default_engine",
+]
+
+_ENGINES = ("matrix", "scalar")
+_default_engine = "matrix"
+
+
+def get_default_engine() -> str:
+    """The engine cores use when constructed without an explicit one."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    """Select the process-wide default comparison engine.
+
+    The benchmarks flip this to time the scalar reference path against
+    the vectorized one over identical workloads.
+    """
+    global _default_engine
+    if name not in _ENGINES:
+        raise ValueError(f"unknown engine {name!r}, expected one of {_ENGINES}")
+    _default_engine = name
 
 
 class RepeatedDetectionCore:
@@ -72,6 +114,15 @@ class RepeatedDetectionCore:
         ``"prune_solution"`` — the hook the telemetry layer
         (:mod:`repro.obs`) uses to mark spans without making the core
         impure (no I/O, no clock: the observer supplies its own).
+    engine:
+        ``"matrix"`` (memoized vectorized pair tests, the default) or
+        ``"scalar"`` (per-pair ``vc_less``).  ``None`` picks the
+        process default (:func:`get_default_engine`).
+    on_pair_tests:
+        Optional ``callback(count)`` invoked once per activation with
+        the number of logical pair tests it performed — how the
+        ``repro_core_pair_tests_total`` metric stays observable without
+        a per-test callback on the hot path.
     """
 
     def __init__(
@@ -81,15 +132,24 @@ class RepeatedDetectionCore:
         *,
         repeated: bool = True,
         observer=None,
+        engine: Optional[str] = None,
+        on_pair_tests=None,
     ) -> None:
         self.queues: Dict[Hashable, IntervalQueue] = {
             key: IntervalQueue() for key in keys
         }
         if not self.queues:
             raise ValueError("a detection core needs at least one queue")
+        if engine is None:
+            engine = _default_engine
+        elif engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}, expected one of {_ENGINES}")
         self.detector_id = detector_id
         self.repeated = repeated
         self.observer = observer
+        self.engine = engine
+        self.on_pair_tests = on_pair_tests
+        self._matrix = HeadMatrix(self.queues) if engine == "matrix" else None
         self.stats = CoreStats()
         self.solutions: List[Solution] = []
         self._halted = False
@@ -101,6 +161,8 @@ class RepeatedDetectionCore:
         if key in self.queues:
             raise KeyError(f"queue {key!r} already exists")
         self.queues[key] = IntervalQueue()
+        if self._matrix is not None:
+            self._matrix.add_key(key)
 
     def remove_queue(self, key: Hashable) -> List[Solution]:
         """Drop a queue (child failed / detached).
@@ -110,6 +172,8 @@ class RepeatedDetectionCore:
         child.  We therefore re-run detection over all non-empty queues.
         """
         del self.queues[key]
+        if self._matrix is not None:
+            self._matrix.remove_key(key)
         if self._halted or not self.queues:
             return []
         updated = {k for k, q in self.queues.items() if q}
@@ -138,15 +202,41 @@ class RepeatedDetectionCore:
         # Line 2: only a fresh head can change the outcome of detection.
         if len(queue) != 1:
             return []
+        if self._matrix is not None:
+            self._matrix.set_head(key, interval.lo, interval.hi)
         return self._detect({key})
 
     def _vc_less(self, u, v) -> bool:
         self.stats.comparisons += 1
         return vc_less(u, v)
 
+    def _dequeue(self, key: Hashable) -> Interval:
+        """Pop *key*'s head, keeping the comparison cache in sync with
+        the exposed successor (or the queue's emptiness)."""
+        queue = self.queues[key]
+        pruned = queue.dequeue()
+        if self._matrix is not None:
+            if queue:
+                head = queue.head
+                self._matrix.set_head(key, head.lo, head.hi)
+            else:
+                self._matrix.clear_head(key)
+        return pruned
+
     def _detect(self, updated: set) -> List[Solution]:
+        start = self.stats.comparisons
+        try:
+            return self._detect_inner(updated)
+        finally:
+            if self.on_pair_tests is not None:
+                delta = self.stats.comparisons - start
+                if delta:
+                    self.on_pair_tests(delta)
+
+    def _detect_inner(self, updated: set) -> List[Solution]:
         found: List[Solution] = []
         queues = self.queues
+        matrix = self._matrix
         while True:
             # --- lines 4–17: prune mutually incompatible heads to fixpoint
             while updated:
@@ -154,6 +244,15 @@ class RepeatedDetectionCore:
                 for a in updated:
                     queue_a = queues.get(a)
                     if not queue_a:
+                        continue
+                    if matrix is not None:
+                        others, x_lt, y_lt = matrix.partners(a)
+                        self.stats.comparisons += 2 * len(others)
+                        for b, x_lt_b, b_lt_x in zip(others, x_lt, y_lt):
+                            if not x_lt_b:
+                                new_updated.add(b)
+                            if not b_lt_x:
+                                new_updated.add(a)
                         continue
                     x = queue_a.head
                     for b, queue_b in queues.items():
@@ -166,7 +265,7 @@ class RepeatedDetectionCore:
                             new_updated.add(a)
                 for c in new_updated:
                     if queues[c]:
-                        pruned = queues[c].dequeue()
+                        pruned = self._dequeue(c)
                         self.stats.pruned_incompatible += 1
                         if self.observer is not None:
                             self.observer("prune_incompat", c, pruned)
@@ -190,7 +289,7 @@ class RepeatedDetectionCore:
             removable = self._removable_heads(heads)
             assert removable, "Theorem 4 guarantees at least one removal"
             for key in removable:
-                pruned = queues[key].dequeue()
+                pruned = self._dequeue(key)
                 self.stats.pruned_after_solution += 1
                 if self.observer is not None:
                     self.observer("prune_solution", key, pruned)
@@ -199,7 +298,28 @@ class RepeatedDetectionCore:
     def _removable_heads(self, heads: Dict[Hashable, Interval]) -> set:
         """Keys whose head satisfies Eq. (10):
         ``∀ b≠a: max(x_b) ≮ max(x_a)`` — i.e. heads whose ``max`` is
-        minimal under the strict vector order among all heads."""
+        minimal under the strict vector order among all heads.
+
+        Both engines preserve the scalar path's short-circuit
+        accounting: tests after the first dominating ``b`` were never
+        performed, so they are not counted.
+        """
+        matrix = self._matrix
+        if matrix is not None:
+            removable = set()
+            for a in heads:
+                _, flags = matrix.dominators(a)
+                tested = 0
+                dominated = False
+                for flag in flags:
+                    tested += 1
+                    if flag:
+                        dominated = True
+                        break
+                self.stats.comparisons += tested
+                if not dominated:
+                    removable.add(a)
+            return removable
         keys = list(heads)
         removable = set()
         for a in keys:

@@ -62,6 +62,10 @@ class HierarchicalNodeCore:
         Optional lifecycle callback forwarded to the underlying
         :class:`~repro.detect.core.RepeatedDetectionCore` (see its
         docstring) — how span tracing observes enqueues and prunes.
+    engine, on_pair_tests:
+        Forwarded to the underlying core: comparison engine selection
+        and the per-activation logical pair-test callback backing the
+        ``repro_core_pair_tests_total`` metric.
     """
 
     def __init__(
@@ -71,13 +75,21 @@ class HierarchicalNodeCore:
         *,
         is_root: bool = False,
         observer=None,
+        engine: Optional[str] = None,
+        on_pair_tests=None,
     ) -> None:
         self.node_id = node_id
         self.is_root = is_root
         keys = [node_id, *children]
         if len(set(keys)) != len(keys):
             raise ValueError("children ids must be unique and differ from node_id")
-        self._core = RepeatedDetectionCore(keys, detector_id=node_id, observer=observer)
+        self._core = RepeatedDetectionCore(
+            keys,
+            detector_id=node_id,
+            observer=observer,
+            engine=engine,
+            on_pair_tests=on_pair_tests,
+        )
         self._next_agg_seq = 0
         self.emissions: List[Emission] = []
 

@@ -138,11 +138,19 @@ class HierarchicalRole:
             "Definitely(Phi) announcements, per (partition-)root node.",
             ("node",),
         )
+        self._c_pair_tests = registry.counter_vec(
+            "repro_core_pair_tests_total",
+            "Logical head-pair comparisons performed by detection cores, "
+            "per spanning-tree level (the unit of the paper's time "
+            "analysis; engine-independent).",
+            ("level",),
+        )
         self.core = HierarchicalNodeCore(
             process.pid,
             self._init_children,
             is_root=self.parent_id is None,
             observer=self._observe_core,
+            on_pair_tests=self._count_pair_tests,
         )
         self._buffers = {c: ReorderBuffer() for c in self._init_children}
         if self._heartbeat_cfg is not None:
@@ -202,6 +210,10 @@ class HierarchicalRole:
             self._c_pruned[(pid, event)] += 1
             if span is not None:
                 span.mark(now, f"{event}@P{pid}")
+
+    def _count_pair_tests(self, count: int) -> None:
+        """Per-activation flush from the core (see ``on_pair_tests``)."""
+        self._c_pair_tests[self.level if self.level is not None else 0] += count
 
     def _span_attrs(self) -> dict:
         return {} if self.level is None else {"level": self.level}
@@ -385,7 +397,11 @@ class HierarchicalRole:
         state), rejoining as a leaf under *parent*.  Past detections are
         kept — they were correct when announced."""
         self.core = HierarchicalNodeCore(
-            self.process.pid, (), is_root=False, observer=self._observe_core
+            self.process.pid,
+            (),
+            is_root=False,
+            observer=self._observe_core,
+            on_pair_tests=self._count_pair_tests,
         )
         self._buffers = {}
         self._pending = []

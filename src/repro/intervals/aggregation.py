@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..clocks import join, meet
+import numpy as np
+
 from .interval import Interval
 from .overlap import overlap
 
@@ -59,9 +60,21 @@ def aggregate(
         raise ValueError("cannot aggregate an empty set of intervals")
     if check and not overlap(intervals):
         raise ValueError("aggregation requires overlap(X) to hold")
-    lo = join(*(x.lo for x in intervals))
-    hi = meet(*(x.hi for x in intervals))
-    members = frozenset().union(*(x.members for x in intervals))
+    if len(intervals) == 1:
+        # A leaf's singleton solution aggregates to its own bounds; skip
+        # the stacking entirely (the bounds are already frozen, so the
+        # Interval constructor below reuses them without copying).
+        only = intervals[0]
+        lo, hi = only.lo, only.hi
+        members = only.members
+    else:
+        # Eq. (5)-(6) over one stacked (|X|, n) matrix per bound: a
+        # single reduction each instead of per-interval join/meet calls.
+        lo = np.stack([x.lo for x in intervals]).max(axis=0)
+        lo.setflags(write=False)
+        hi = np.stack([x.hi for x in intervals]).min(axis=0)
+        hi.setflags(write=False)
+        members = frozenset().union(*(x.members for x in intervals))
     return Interval(
         owner=owner,
         seq=seq,

@@ -72,6 +72,7 @@ class Interval:
             )
         if not self.members:
             object.__setattr__(self, "members", frozenset({self.owner}))
+        object.__setattr__(self, "_key_cache", None)
 
     @property
     def n(self) -> int:
@@ -92,8 +93,19 @@ class Interval:
             yield from part.concrete_leaves()
 
     def key(self) -> tuple:
-        """A hashable identity usable across detector replays."""
-        return (self.owner, self.seq, self.lo.tobytes(), self.hi.tobytes())
+        """A hashable identity usable across detector replays.
+
+        Computed lazily and cached: ``key()`` backs ``__hash__``, so it
+        is called once per set/dict operation on the detection hot path,
+        and ``tobytes()`` copies both timestamps each time.  The bounds
+        are immutable (frozen in ``__post_init__``), so the cache can
+        never go stale.
+        """
+        cached = self._key_cache
+        if cached is None:
+            cached = (self.owner, self.seq, self.lo.tobytes(), self.hi.tobytes())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Interval):

@@ -79,8 +79,13 @@ class ReorderBuffer:
         self._next_seq = start_seq
 
     def push(self, seq: int, item) -> list:
-        if seq < self._next_seq or seq in self._pending:
-            raise ValueError(f"duplicate transport seq {seq}")
+        if seq < self._next_seq:
+            raise ValueError(
+                f"stale transport seq {seq}: already delivered "
+                f"(next expected is {self._next_seq})"
+            )
+        if seq in self._pending:
+            raise ValueError(f"duplicate transport seq {seq}: already buffered")
         self._pending[seq] = item
         out: list = []
         while self._next_seq in self._pending:

@@ -12,6 +12,7 @@ from .messages import (
 )
 from .network import (
     Network,
+    WireCodec,
     distance_delay,
     exponential_delay,
     lognormal_delay,
@@ -38,6 +39,7 @@ __all__ = [
     "ProcessEvent",
     "ScheduledEvent",
     "Simulator",
+    "WireCodec",
     "distance_delay",
     "exponential_delay",
     "lognormal_delay",

@@ -26,9 +26,17 @@ class ScheduledEvent:
     tie: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    #: owning simulator while the event sits in its heap; cleared on pop
+    #: so late cancels of executed events don't skew the tombstone count
+    _sim: Optional["Simulator"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -50,6 +58,8 @@ class Simulator:
         self.seed = seed
         self._heap: list[ScheduledEvent] = []
         self._tie = 0
+        self._cancelled_in_heap = 0
+        self.heap_compactions = 0
         self._rngs: Dict[str, np.random.Generator] = {}
         self.events_executed = 0
         #: structured observability log (see repro.sim.eventlog);
@@ -80,17 +90,45 @@ class Simulator:
     def schedule_at(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
         if time < self.now:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
-        event = ScheduledEvent(time=time, tie=self._tie, action=action)
+        event = ScheduledEvent(time=time, tie=self._tie, action=action, _sim=self)
         self._tie += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # ------------------------------------------------------------------
+    # lazy tombstone compaction
+    #
+    # Cancelled events stay in the heap as tombstones until popped; with
+    # heavy timer churn (heartbeat resets every message) they can come to
+    # dominate the heap and inflate every push/pop by O(log dead).  When
+    # the dead fraction exceeds half (past a small absolute floor, so
+    # tiny sims never bother) the heap is rebuilt with the live events
+    # only.  ``heapify`` keeps determinism: pop order is the strict
+    # (time, tie) total order regardless of internal layout.
+    _COMPACT_MIN_CANCELLED = 64
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > self._COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.heap_compactions += 1
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event; False when none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._sim = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.now = event.time
             event.action()
@@ -107,6 +145,8 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                head._sim = None
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and head.time > until:
                 self.now = until
@@ -119,4 +159,6 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) events awaiting execution — O(1) now
+        that tombstones are counted instead of scanned."""
+        return len(self._heap) - self._cancelled_in_heap

@@ -1,0 +1,177 @@
+"""Scalar vs matrix engine equivalence, and comparison-cache
+invalidation across the tree-repair paths (add_queue / remove_queue)."""
+
+import numpy as np
+import pytest
+
+from repro.detect import RepeatedDetectionCore
+from repro.detect.core import get_default_engine, set_default_engine
+from repro.intervals import Interval
+
+from ..conftest import make_interval
+
+
+def record_all(core, stream):
+    solutions = []
+    for key, interval in stream:
+        solutions.extend(core.offer(key, interval))
+    return solutions
+
+
+def solution_sig(solutions):
+    return [
+        (s.index, sorted((k, iv.key()) for k, iv in s.heads.items()))
+        for s in solutions
+    ]
+
+
+def random_stream(rng, k=4, n=6, count=300):
+    """Random interval stream with a mix of overlap and skew."""
+    stream = []
+    seqs = [0] * k
+    base = np.zeros(n, dtype=np.int64)
+    for i in range(count):
+        q = int(rng.integers(0, k))
+        if rng.random() < 0.5:
+            lo = base + rng.integers(0, 3, n)
+            hi = lo + 4 + rng.integers(0, 3, n)
+        else:
+            lo = base + rng.integers(0, 8, n)
+            hi = lo + rng.integers(0, 8, n)
+        stream.append((q, Interval(owner=q, seq=seqs[q], lo=lo, hi=hi)))
+        seqs[q] += 1
+        if i % 10 == 9:
+            base = base + 6
+    return stream
+
+
+class TestEngineSelection:
+    def test_default_engine_is_matrix(self):
+        assert get_default_engine() == "matrix"
+        assert RepeatedDetectionCore([0]).engine == "matrix"
+
+    def test_set_default_engine(self):
+        set_default_engine("scalar")
+        try:
+            assert RepeatedDetectionCore([0]).engine == "scalar"
+        finally:
+            set_default_engine("matrix")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_engine("simd")
+        with pytest.raises(ValueError):
+            RepeatedDetectionCore([0], engine="simd")
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_random_streams_byte_identical(self, seed):
+        stream = random_stream(np.random.default_rng(seed))
+        results = {}
+        for engine in ("scalar", "matrix"):
+            events = []
+            core = RepeatedDetectionCore(
+                range(4),
+                engine=engine,
+                observer=lambda ev, key, iv: events.append((ev, key, iv.key())),
+            )
+            solutions = record_all(core, stream)
+            results[engine] = (
+                solution_sig(solutions),
+                events,
+                core.stats.comparisons,
+            )
+        assert results["scalar"] == results["matrix"]
+
+    def test_pair_test_callback_totals_match_stats(self):
+        counts = []
+        core = RepeatedDetectionCore(
+            range(3), engine="matrix", on_pair_tests=counts.append
+        )
+        stream = random_stream(np.random.default_rng(3), k=3, count=120)
+        record_all(core, stream)
+        assert core.stats.comparisons > 0
+        assert sum(counts) == core.stats.comparisons
+
+
+class TestRepairInvalidation:
+    """The fault layer rewires queues mid-run; the comparison cache must
+    follow (docs/performance.md's invalidation contract)."""
+
+    def test_removal_unblocks_solution_cascade(self):
+        for engine in ("scalar", "matrix"):
+            core = RepeatedDetectionCore([0, 1, 2], engine=engine)
+            core.offer(0, make_interval(0, 0, [0, 0], [10, 10]))
+            core.offer(0, make_interval(0, 1, [11, 11], [20, 20]))
+            core.offer(1, make_interval(1, 0, [1, 1], [9, 9]))
+            core.offer(1, make_interval(1, 1, [12, 12], [19, 19]))
+            assert core.stats.detections == 0  # blocked on queue 2
+            solutions = core.remove_queue(2)
+            assert [s.index for s in solutions] == [0, 1]
+            assert core.stats.detections == 2
+
+    def test_add_queue_blocks_then_new_queue_participates(self):
+        core = RepeatedDetectionCore([0, 1], engine="matrix")
+        core.offer(0, make_interval(0, 0, [0, 0], [10, 10]))
+        core.add_queue(2)
+        # The fresh queue is empty, so nothing can be detected ...
+        core.offer(1, make_interval(1, 0, [1, 1], [9, 9]))
+        assert core.stats.detections == 0
+        # ... until it fills; its head must join the pair cache.
+        solutions = core.offer(2, make_interval(2, 0, [2, 2], [8, 8]))
+        assert len(solutions) == 1
+        assert set(solutions[0].heads) == {0, 1, 2}
+
+    def test_add_remove_interleaved_matches_scalar(self):
+        """A repair-like schedule: offers interleaved with queue churn
+        must leave both engines in byte-identical states."""
+
+        def run(engine):
+            events = []
+            core = RepeatedDetectionCore(
+                [0, 1],
+                engine=engine,
+                observer=lambda ev, key, iv: events.append((ev, key, iv.key())),
+            )
+            sols = []
+            sols += core.offer(0, make_interval(0, 0, [0, 0], [5, 5]))
+            sols += core.offer(1, make_interval(1, 0, [1, 1], [6, 6]))
+            core.add_queue(2)
+            sols += core.offer(0, make_interval(0, 1, [7, 7], [12, 12]))
+            sols += core.offer(2, make_interval(2, 0, [8, 8], [13, 13]))
+            sols += core.remove_queue(1)
+            sols += core.offer(2, make_interval(2, 1, [14, 14], [20, 20]))
+            sols += core.offer(0, make_interval(0, 2, [15, 15], [19, 19]))
+            return solution_sig(sols), events, core.stats.comparisons
+
+        assert run("scalar") == run("matrix")
+
+    def test_removed_queue_rejoins_with_fresh_state(self):
+        core = RepeatedDetectionCore([0, 1], engine="matrix")
+        core.offer(1, make_interval(1, 0, [0, 0], [4, 4]))
+        core.remove_queue(1)
+        core.add_queue(1)
+        # Old head must not linger in the cache after the re-add.
+        core.offer(0, make_interval(0, 0, [1, 1], [5, 5]))
+        assert core.stats.detections == 0
+        core.offer(1, make_interval(1, 0, [2, 2], [6, 6]))
+        assert core.stats.detections == 1
+
+
+class TestPairTestsMetric:
+    def test_counter_populated_per_level_in_simulation(self):
+        from repro.experiments.harness import run_hierarchical
+        from repro.topology import SpanningTree
+        from repro.workload.generator import EpochConfig
+
+        result = run_hierarchical(
+            SpanningTree.regular(2, 2), seed=3, config=EpochConfig(epochs=4)
+        )
+        counter = result.sim.telemetry.registry.get("repro_core_pair_tests_total")
+        assert counter is not None
+        total = sum(counter.values())
+        per_node = sum(n.comparisons for n in result.metrics.per_node)
+        assert total == per_node > 0
+        # Labelled by spanning-tree level; interior levels do the work.
+        assert any(level > 1 for level in counter)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.intervals import Interval, aggregate
 
@@ -42,6 +44,31 @@ class TestIdentity:
 
     def test_not_equal_to_other_types(self):
         assert make_interval(0, 0, [1], [2]) != "interval"
+
+    def test_key_is_cached_and_stable(self):
+        iv = make_interval(2, 5, [1, 0], [3, 0])
+        first = iv.key()
+        assert iv.key() is first  # lazily computed once, then reused
+        assert first == (2, 5, iv.lo.tobytes(), iv.hi.tobytes())
+
+    @given(
+        owner=st.integers(0, 5),
+        seq=st.integers(0, 5),
+        lo=st.lists(st.integers(0, 4), min_size=1, max_size=4),
+        bump=st.lists(st.integers(0, 4), min_size=4, max_size=4),
+    )
+    def test_key_cache_preserves_hash_eq_semantics(self, owner, seq, lo, bump):
+        """hash/eq must behave exactly as if key() were recomputed."""
+        hi = [a + b for a, b in zip(lo, bump + [0] * len(lo))]
+        a = make_interval(owner, seq, lo, hi)
+        b = make_interval(owner, seq, list(lo), list(hi))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key() and a.key() is not b.key()
+        different = make_interval(owner, seq + 1, lo, hi)
+        assert a != different and a.key() != different.key()
+        # Cached key still reflects the (immutable) bounds verbatim.
+        assert a.key() == (owner, seq, a.lo.tobytes(), a.hi.tobytes())
 
 
 class TestProvenance:

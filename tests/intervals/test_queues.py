@@ -78,6 +78,21 @@ class TestReorderBuffer:
         with pytest.raises(ValueError):
             buf.push(2, "dup-pending")
 
+    def test_stale_and_duplicate_errors_are_distinct(self):
+        # Regression: an already-delivered seq used to be reported as a
+        # "duplicate", pointing debugging at the wrong failure mode (a
+        # retransmission looks nothing like a sender seq collision).
+        buf = ReorderBuffer()
+        buf.push(0, "a")
+        buf.push(1, "b")
+        with pytest.raises(ValueError, match="stale transport seq 0"):
+            buf.push(0, "retransmission")
+        with pytest.raises(ValueError, match="next expected is 2"):
+            buf.push(1, "retransmission")
+        buf.push(3, "d")  # buffered, not yet deliverable
+        with pytest.raises(ValueError, match="duplicate transport seq 3"):
+            buf.push(3, "collision")
+
     def test_start_seq_offset(self):
         buf = ReorderBuffer(start_seq=5)
         assert buf.push(6, "b") == []

@@ -102,3 +102,67 @@ class TestRngStreams:
         first = sim.rng("net")
         first.random()
         assert sim.rng("net") is first
+
+
+class TestHeapCompaction:
+    """Lazy tombstone compaction: heavy timer churn must not let
+    cancelled events dominate the heap."""
+
+    def test_mass_cancellation_triggers_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(300)]
+        for handle in handles[:250]:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        # Tombstones beyond the compaction floor are physically removed:
+        # at most 50 live + the sub-threshold tail can remain.
+        assert len(sim._heap) <= 50 + Simulator._COMPACT_MIN_CANCELLED + 1
+        assert sim.pending == 50
+
+    def test_execution_order_survives_compaction(self):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i in range(200):
+            handles.append(
+                sim.schedule(float(i % 7) + 1.0, lambda i=i: fired.append(i))
+            )
+        kept = [h for i, h in enumerate(handles) if i % 5 == 0]
+        for i, handle in enumerate(handles):
+            if i % 5:
+                handle.cancel()
+        sim.run()
+        expected = sorted(
+            (i for i in range(200) if i % 5 == 0),
+            key=lambda i: (float(i % 7) + 1.0, i),
+        )
+        assert fired == expected
+        assert len(kept) == len(fired)
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(40)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.heap_compactions == 0
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_executed == 1
+        assert keep.cancelled is False
+
+    def test_cancel_after_execution_does_not_corrupt_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        handle.cancel()  # late cancel of an already-executed event
+        assert sim.pending == 0

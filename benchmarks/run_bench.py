@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Perf-baseline runner: emits ``BENCH_core_ops.json`` and
-``BENCH_hierarchy.json`` at the repo root.
+"""Perf-baseline runner: emits ``BENCH_core_ops.json``,
+``BENCH_hierarchy.json`` and ``BENCH_parallel.json`` at the repo root.
 
-Two benchmarks, both timed for the scalar reference engine and the
-vectorized ``HeadMatrix`` engine (see ``docs/performance.md``):
+The first two benchmarks are timed for the scalar reference engine and
+the vectorized ``HeadMatrix`` engine (see ``docs/performance.md``):
 
 * **core_ops** — offer throughput of one ``RepeatedDetectionCore``
   (k queues, n vector components) on a bursty synthetic stream: most
@@ -16,6 +16,13 @@ vectorized ``HeadMatrix`` engine (see ``docs/performance.md``):
 * **hierarchy** — wall-clock of a full ``run_hierarchical`` simulation
   (tree, network, workload included), flipped between engines via
   ``set_default_engine``.
+* **parallel** — the sharded experiment engine
+  (``repro.experiments.parallel``) running the Table-I sweep at 1, 2,
+  4 and 8 workers (determinism surface must be byte-identical across
+  worker counts; wall-clock speedup scales with the machine's cores —
+  ``cpu_count`` is recorded so single-core CI numbers read honestly),
+  plus batched vs scalar offer ingestion (``offer_batch`` must be
+  byte-identical to an ``offer`` loop on both engines).
 
 Timings are best-of-``--repeats`` after a warmup run, so one-off
 scheduler noise doesn't pollute the baseline.  ``--quick`` shrinks the
@@ -230,6 +237,161 @@ def bench_hierarchy(args) -> dict:
 
 
 # ----------------------------------------------------------------------
+# sharded experiment engine + batched ingestion
+# ----------------------------------------------------------------------
+def _drive_batch(stream, engine, k, batch, record_events=False):
+    """Like :func:`_drive` but through ``offer_batch`` — the whole
+    stream at once when ``batch <= 0``, else in chunks of ``batch``."""
+    from repro.detect import RepeatedDetectionCore
+
+    events = []
+    observer = (
+        (lambda ev, key, iv: events.append((ev, key, iv.key())))
+        if record_events
+        else None
+    )
+    core = RepeatedDetectionCore(range(k), engine=engine, observer=observer)
+    chunk = len(stream) if batch <= 0 else batch
+    solutions = []
+    t0 = time.perf_counter()
+    for start in range(0, len(stream), chunk):
+        solutions.extend(core.offer_batch(stream[start : start + chunk]))
+    elapsed = time.perf_counter() - t0
+    return core, elapsed, solutions, events
+
+
+def _sweep_surface(report):
+    """The determinism surface of one sharded sweep — everything that
+    must be identical for any worker count."""
+    import hashlib
+
+    return {
+        "exposition_sha256": hashlib.sha256(
+            report.deterministic_exposition().encode()
+        ).hexdigest(),
+        "control_messages": report.metrics.control_messages,
+        "root_detections": report.metrics.root_detections,
+        "total_comparisons": report.metrics.total_comparisons,
+        "solution_counts": [s.solution_count for s in report.shards],
+        "detection_times": [round(d.time, 9) for d in report.detections],
+    }
+
+
+def bench_parallel(args) -> dict:
+    import os
+
+    from repro.experiments.parallel import ShardedRunner
+    from repro.experiments.table1 import table1_specs
+
+    p = 4 if args.quick else 10
+    repeats = 2 if args.quick else args.repeats
+    configs = ((2, 3), (2, 4)) if args.quick else ((2, 3), (2, 4), (3, 3), (4, 3))
+    worker_counts = [w for w in (1, 2, 4, 8) if w <= max(args.workers, 1)]
+    specs = table1_specs(configs, p=p, seed=args.timing_seed)
+
+    # Interleave the timed runs round-robin across worker counts (and,
+    # below, across scalar/batch): on a busy machine wall-clock drifts
+    # over the benchmark's lifetime, and block-ordered timing would
+    # systematically bias against whichever variant runs last.
+    timings = {str(w): {"runs_s": []} for w in worker_counts}
+    surfaces = {}
+    runners = {w: ShardedRunner(workers=w) for w in worker_counts}
+    for runner in runners.values():
+        runner.run(specs)  # warmup (pool fork, imports)
+    for _ in range(repeats):
+        for workers, runner in runners.items():
+            t0 = time.perf_counter()
+            report = runner.run(specs)
+            timings[str(workers)]["runs_s"].append(time.perf_counter() - t0)
+            surfaces[str(workers)] = _sweep_surface(report)
+    for entry in timings.values():
+        entry["best_s"] = min(entry["runs_s"])
+    reference = surfaces[str(worker_counts[0])]
+    identical_across_workers = all(
+        surfaces[str(w)] == reference for w in worker_counts
+    )
+    best_parallel = min(
+        timings[str(w)]["best_s"] for w in worker_counts if w > 1
+    ) if len(worker_counts) > 1 else timings[str(worker_counts[0])]["best_s"]
+    shard_speedup = timings[str(worker_counts[0])]["best_s"] / best_parallel
+
+    # batched vs scalar ingestion on the core-ops stream, both engines
+    k, n = args.k, args.n
+    offers = 2000 if args.quick else args.offers
+    stream = burst_stream(args.timing_seed, k=k, n=n, offers=offers)
+    batch_timings = {}
+    batch_checks = []
+    for engine in ("scalar", "matrix"):
+        _drive(stream, engine, k)  # warmup
+        _drive_batch(stream, engine, k, args.batch)
+        scalar_runs, batch_runs = [], []
+        for _ in range(repeats):  # interleaved, see above
+            scalar_runs.append(_drive(stream, engine, k)[1])
+            batch_runs.append(_drive_batch(stream, engine, k, args.batch)[1])
+        cs, _, ss, es = _drive(stream, engine, k, record_events=True)
+        cb, _, sb, eb = _drive_batch(
+            stream, engine, k, args.batch, record_events=True
+        )
+        batch_timings[engine] = {
+            "scalar_best_s": min(scalar_runs),
+            "batch_best_s": min(batch_runs),
+            "scalar_offers_per_s": offers / min(scalar_runs),
+            "batch_offers_per_s": offers / min(batch_runs),
+            "speedup": min(scalar_runs) / min(batch_runs),
+        }
+        batch_checks.append(
+            {
+                "engine": engine,
+                "solutions": len(ss),
+                "identical_solutions": _solution_signature(ss)
+                == _solution_signature(sb),
+                "identical_events": es == eb,
+                "identical_comparisons": cs.stats.comparisons
+                == cb.stats.comparisons,
+                "identical_offers": cs.stats.offers == cb.stats.offers,
+            }
+        )
+    batch_identical = all(
+        c["identical_solutions"]
+        and c["identical_events"]
+        and c["identical_comparisons"]
+        and c["identical_offers"]
+        for c in batch_checks
+    )
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "parallel",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "params": {
+            "configs": [list(c) for c in configs],
+            "p": p,
+            "worker_counts": worker_counts,
+            "repeats": repeats,
+            "seed": args.timing_seed,
+            "k": k,
+            "n": n,
+            "offers": offers,
+            "batch": args.batch,
+        },
+        "sharded": {
+            "timings": timings,
+            "surfaces": surfaces,
+            "identical_across_workers": identical_across_workers,
+            "shard_speedup": shard_speedup,
+        },
+        "batch": {"engines": batch_timings, "checks": batch_checks},
+        "speedup": max(t["speedup"] for t in batch_timings.values()),
+        "determinism": {
+            "all_identical": identical_across_workers and batch_identical,
+            "identical_across_workers": identical_across_workers,
+            "batch_identical": batch_identical,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
@@ -246,11 +408,26 @@ def main(argv=None) -> int:
         default=[1, 2, 3],
         help="seeds for the scalar-vs-matrix determinism check",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="max worker count for the parallel benchmark "
+        "(sweeps 1, 2, 4, 8 up to this bound)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="offer_batch chunk size for the parallel benchmark "
+        "(0 = whole stream in one call)",
+    )
     args = parser.parse_args(argv)
 
     results = {
         "BENCH_core_ops.json": bench_core_ops(args),
         "BENCH_hierarchy.json": bench_hierarchy(args),
+        "BENCH_parallel.json": bench_parallel(args),
     }
     args.out_dir.mkdir(parents=True, exist_ok=True)
     failed = False

@@ -20,7 +20,7 @@ aggregation probability α:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -42,13 +42,23 @@ class NodeMetrics:
 
 @dataclass
 class RunMetrics:
-    """Aggregated measurements of one simulation run."""
+    """Aggregated measurements of one simulation run.
+
+    Instances are plain data — picklable by construction — because the
+    sharded experiment runner ships them across process boundaries and
+    folds them back together with :meth:`merge`.  ``level_detections`` /
+    ``level_offers`` keep the per-level α numerators and denominators so
+    a merge can recompute ``realized_alpha_by_level`` exactly instead of
+    averaging averages.
+    """
 
     control_messages: int
     app_messages: int
     per_node: List[NodeMetrics] = field(default_factory=list)
     root_detections: int = 0
     realized_alpha_by_level: Dict[int, float] = field(default_factory=dict)
+    level_detections: Dict[int, int] = field(default_factory=dict)
+    level_offers: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total_comparisons(self) -> int:
@@ -65,6 +75,43 @@ class RunMetrics:
     @property
     def total_peak_queue(self) -> int:
         return sum(m.peak_queue_intervals for m in self.per_node)
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another run's measurements into this one.
+
+        Message/detection counters add; per-node rows concatenate (the
+        pid space of different shards may overlap — rows are kept as
+        recorded, one per (shard, node)); realized α is recomputed from
+        the summed per-level detection/offer tallies.  Merging is
+        associative and applied in shard order, so a parallel sweep's
+        aggregate is identical for any worker count.
+        """
+        self.control_messages += other.control_messages
+        self.app_messages += other.app_messages
+        self.per_node.extend(other.per_node)
+        self.root_detections += other.root_detections
+        for level, value in other.level_detections.items():
+            self.level_detections[level] = self.level_detections.get(level, 0) + value
+        for level, value in other.level_offers.items():
+            self.level_offers[level] = self.level_offers.get(level, 0) + value
+        if self.level_offers:
+            self.realized_alpha_by_level = {
+                level: self.level_detections.get(level, 0) / offers
+                for level, offers in self.level_offers.items()
+                if offers
+            }
+        else:
+            # Collectors that don't tally per-level offers (token,
+            # possibly): keep whatever α maps the parts carried.
+            self.realized_alpha_by_level.update(other.realized_alpha_by_level)
+
+    @classmethod
+    def merged(cls, parts: Sequence["RunMetrics"]) -> "RunMetrics":
+        """A fresh aggregate of *parts* (which are left untouched)."""
+        total = cls(control_messages=0, app_messages=0)
+        for part in parts:
+            total.merge(part)
+        return total
 
     def comparisons_gini(self) -> float:
         """Concentration of comparison work across nodes (0 = perfectly
@@ -168,6 +215,8 @@ def collect_hierarchical(
             metrics.realized_alpha_by_level[level] = (
                 detections_by_level.get(level, 0) / opportunities
             )
+    metrics.level_detections = dict(detections_by_level)
+    metrics.level_offers = dict(opportunities_by_level)
     _publish_level_metrics(
         network.sim.telemetry.registry,
         detections_by_level,

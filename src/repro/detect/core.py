@@ -206,6 +206,55 @@ class RepeatedDetectionCore:
             self._matrix.set_head(key, interval.lo, interval.hi)
         return self._detect({key})
 
+    def offer_batch(self, items) -> List[Solution]:
+        """Deliver many ``(key, interval)`` offers in one call.
+
+        Byte-identical to looping :meth:`offer` over *items* — same
+        solutions, same prune-event stream, same logical comparison
+        counts, same halting behaviour — but ingestion is batched:
+        consecutive offers that deepen an already non-empty queue never
+        activate detection (Algorithm 1 line 2), so whole runs of them
+        are bulk-enqueued through :meth:`IntervalQueue.extend
+        <repro.intervals.IntervalQueue.extend>` with no per-offer
+        Python dispatch and no :class:`~repro.clocks.compare.HeadMatrix`
+        traffic.  Only offers that expose a fresh head go through the
+        full detection path, so the matrix refreshes once per head
+        transition rather than being consulted per offer.
+
+        *items* must be an indexable sequence (a list of pairs); a
+        generator should be materialized by the caller.
+        """
+        found: List[Solution] = []
+        queues = self.queues
+        observer = self.observer
+        stats = self.stats
+        i, count = 0, len(items)
+        while i < count:
+            if self._halted:
+                # offer() drops input entirely once halted (one-shot
+                # cores "hang after the initial detection").
+                return found
+            key, interval = items[i]
+            queue = queues[key]
+            if not queue:
+                found.extend(self.offer(key, interval))
+                i += 1
+                continue
+            # Run of consecutive same-key offers onto a non-empty queue:
+            # none of them can change a head, so none can change the
+            # outcome of detection (line 2) — ingest the run wholesale.
+            j = i + 1
+            while j < count and items[j][0] == key:
+                j += 1
+            run = [pair[1] for pair in items[i:j]]
+            queue.extend(run)
+            stats.offers += len(run)
+            if observer is not None:
+                for pending in run:
+                    observer("enqueue", key, pending)
+            i = j
+        return found
+
     def _vc_less(self, u, v) -> bool:
         self.stats.comparisons += 1
         return vc_less(u, v)

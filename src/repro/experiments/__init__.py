@@ -36,6 +36,14 @@ from .harness import (
     run_token,
 )
 from .levels import LevelRow, format_levels, level_breakdown
+from .parallel import (
+    RunSpec,
+    ShardReport,
+    ShardResult,
+    ShardedRunner,
+    spawn_seed_sequences,
+    spawn_seeds,
+)
 from .latency import (
     LatencyPoint,
     detection_latencies,
@@ -45,7 +53,7 @@ from .latency import (
 from .scaling import ScalingPoint, growth_slopes, scaling_sweep
 from .starvation import StarvationResult, format_starvation, starvation_comparison
 from .suite import generate_report
-from .table1 import Table1Row, format_table1, run_table1
+from .table1 import Table1Row, format_table1, run_table1, table1_specs
 from .validation import ValidationReport, run_validation
 
 __all__ = [
@@ -57,7 +65,11 @@ __all__ = [
     "LevelRow",
     "PruningResult",
     "RunResult",
+    "RunSpec",
     "ShapeResult",
+    "ShardReport",
+    "ShardResult",
+    "ShardedRunner",
     "StarvationResult",
     "Table1Row",
     "ValidationReport",
@@ -91,7 +103,10 @@ __all__ = [
     "latency_sweep",
     "level_breakdown",
     "scaling_sweep",
+    "spawn_seed_sequences",
+    "spawn_seeds",
     "starvation_comparison",
+    "table1_specs",
     "tree_construction_ablation",
     "tree_shape_ablation",
 ]

@@ -72,26 +72,37 @@ def tree_shape_ablation(
     p: int = 10,
     sync_prob: float = 0.7,
     seed: int = 3,
+    workers: int = 1,
 ) -> List[ShapeResult]:
     """Run the hierarchical detector over differently shaped trees of
-    comparable size (default shapes: n = 15, 13, 15)."""
-    out: List[ShapeResult] = []
-    for name, d, h in shapes:
-        tree = SpanningTree.regular(d, h)
-        result = run_hierarchical(
-            tree, seed=seed, config=EpochConfig(epochs=p, sync_prob=sync_prob)
+    comparable size (default shapes: n = 15, 13, 15).  ``workers``
+    shards the independent per-shape runs over the parallel engine."""
+    from .parallel import RunSpec, ShardedRunner
+
+    specs = [
+        RunSpec(
+            fn=run_hierarchical,
+            args=(SpanningTree.regular(d, h),),
+            kwargs={"config": EpochConfig(epochs=p, sync_prob=sync_prob)},
+            seed=seed,
+            label=f"shape-{name}",
         )
+        for name, d, h in shapes
+    ]
+    report = ShardedRunner(workers=workers).run(specs)
+    out: List[ShapeResult] = []
+    for (name, d, h), shard in zip(shapes, report.shards):
         out.append(
             ShapeResult(
                 name=name,
                 d=d,
                 h=h,
-                n=tree.n,
-                messages=result.metrics.control_messages,
-                max_comparisons_per_node=result.metrics.max_comparisons_per_node,
-                total_comparisons=result.metrics.total_comparisons,
-                max_queue_per_node=result.metrics.max_queue_per_node,
-                detections=result.metrics.root_detections,
+                n=SpanningTree.regular(d, h).n,
+                messages=shard.metrics.control_messages,
+                max_comparisons_per_node=shard.metrics.max_comparisons_per_node,
+                total_comparisons=shard.metrics.total_comparisons,
+                max_queue_per_node=shard.metrics.max_queue_per_node,
+                detections=shard.metrics.root_detections,
             )
         )
     return out

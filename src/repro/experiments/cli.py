@@ -28,7 +28,7 @@ __all__ = ["main"]
 
 
 def _cmd_table1(args) -> None:
-    rows = run_table1(p=args.p, seed=args.seed)
+    rows = run_table1(p=args.p, seed=args.seed, workers=args.workers)
     print(format_table1(rows))
 
 
@@ -41,7 +41,7 @@ def _cmd_figure(d: int, args) -> None:
 
 
 def _cmd_ablation(args) -> None:
-    shapes = tree_shape_ablation(p=args.p, seed=args.seed)
+    shapes = tree_shape_ablation(p=args.p, seed=args.seed, workers=args.workers)
     print("Tree-shape ablation (hierarchical detector):")
     print(
         render_table(
@@ -81,7 +81,9 @@ def _cmd_ablation(args) -> None:
 
 
 def _cmd_scaling(args) -> None:
-    points = scaling_sweep(d=2, heights=(3, 4, 5), p=args.p, seed=args.seed)
+    points = scaling_sweep(
+        d=2, heights=(3, 4, 5), p=args.p, seed=args.seed, workers=args.workers
+    )
     print("Empirical Table-I scaling (same workload, both algorithms):")
     print(
         render_table(
@@ -124,6 +126,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also run simulator sweeps (slower) for the figures",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded sweeps (table1, scaling, "
+        "ablation, all); results are identical for any value",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="for 'validate': also replay through offer_batch() in "
+        "chunks of this size and cross-check against scalar offers",
+    )
+    parser.add_argument(
         "--out", default=None, help="for 'all': also write the report to this file"
     )
     args = parser.parse_args(argv)
@@ -153,14 +169,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.experiment == "validate":
         from .validation import run_validation
 
-        report = run_validation(trials=50, seed=args.seed)
+        report = run_validation(trials=50, seed=args.seed, batch=args.batch)
         print(report.render())
         return 0 if report.ok else 1
     elif args.experiment == "all":
         from .suite import generate_report
 
         report = generate_report(p=min(args.p, 12), seed=args.seed,
-                                 empirical=args.empirical)
+                                 empirical=args.empirical, workers=args.workers)
         print(report)
         if args.out:
             from pathlib import Path

@@ -1,0 +1,300 @@
+"""Shared-nothing parallel execution engine for the experiment layer.
+
+Every sweep in :mod:`repro.experiments` — Table I, the scaling and
+availability suites, the ablations, the benchmarks — reduces to the
+same shape: a list of independent *run specs* (a harness callable plus
+its parameters and a seed), each of which builds its own
+:class:`~repro.sim.kernel.Simulator`, runs to completion, and yields a
+:class:`~repro.experiments.harness.RunResult`.  Runs share **nothing**
+(no simulator, no registry, no RNG stream), which is exactly the
+boundary predicate-detection workloads parallelize along (Garg,
+arXiv:2008.12516; Chauhan & Garg, arXiv:1304.4326): the
+:class:`ShardedRunner` fans the specs out over a
+``concurrent.futures.ProcessPoolExecutor`` and folds the shard results
+back into one report.
+
+Determinism contract
+--------------------
+* ``workers=1`` executes the specs in-process, in order, through the
+  exact code path a plain Python loop over the harness functions would
+  take — byte-identical to the pre-engine sequential behaviour.
+* Any ``workers > 1`` produces the *same* merged report: each spec
+  carries its own seed, results are collected in spec order (never in
+  completion order), and every reduction
+  (:meth:`~repro.analysis.metrics.RunMetrics.merge`,
+  :meth:`~repro.obs.registry.MetricsRegistry.merge`) is applied in spec
+  order.  Only the wall-clock telemetry
+  (``repro_shard_duration_seconds``) may differ between worker counts.
+* Per-shard seeds for replicated sweeps come from
+  :func:`spawn_seed_sequences` — ``numpy.random.SeedSequence.spawn`` —
+  so shard streams are keyed apart by the spawn-key tree instead of by
+  hashed names and cannot collide (see
+  :meth:`repro.sim.kernel.Simulator.rng`).
+
+Cross-process returns are reduced to picklable :class:`ShardResult`
+snapshots inside the worker (full ``RunResult`` objects hold live
+simulators and closures and deliberately stay worker-local).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.metrics import RunMetrics
+from ..obs.registry import MetricsRegistry
+
+__all__ = [
+    "RunSpec",
+    "ShardResult",
+    "ShardReport",
+    "ShardedRunner",
+    "spawn_seed_sequences",
+    "spawn_seeds",
+    "SHARD_DURATION_BUCKETS",
+]
+
+#: Per-shard wall-clock buckets (seconds): experiment shards range from
+#: milliseconds (quick CI sweeps) to minutes (full availability suites).
+SHARD_DURATION_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, math.inf,
+)
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+def spawn_seed_sequences(seed: int, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seeds of *seed*, via
+    ``SeedSequence.spawn`` — the collision-free way to seed shard-local
+    simulators (pass one child straight to ``Simulator(seed=child)``)."""
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def spawn_seeds(seed: int, count: int) -> List[int]:
+    """Like :func:`spawn_seed_sequences`, reduced to plain ints for
+    call-sites that persist seeds into JSON artifacts.  Distinct children
+    yield distinct 64-bit draws with overwhelming probability, but for
+    in-process use prefer the sequences themselves — they keep the
+    spawn-key guarantee end to end."""
+    return [
+        int(child.generate_state(1, np.uint64)[0])
+        for child in spawn_seed_sequences(seed, count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# specs and shard results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable (workers import it by
+    reference); ``seed`` — when not ``None`` — is passed as the ``seed``
+    keyword, matching every harness runner's signature.  ``label`` tags
+    the shard in reports and telemetry.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[Any] = None
+    label: str = ""
+
+    def execute(self) -> Any:
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.fn(*self.args, **kwargs)
+
+
+@dataclass
+class ShardResult:
+    """The picklable residue of one executed spec.
+
+    Harness runs (anything returning a
+    :class:`~repro.experiments.harness.RunResult`) are reduced to their
+    metrics, detection records and telemetry registry; any other return
+    value is shipped verbatim in ``value`` (and must itself pickle).
+    """
+
+    label: str
+    seed: Optional[Any]
+    duration_s: float
+    metrics: Optional[RunMetrics] = None
+    detections: list = field(default_factory=list)
+    registry: Optional[MetricsRegistry] = None
+    trace: Optional[Any] = None
+    value: Any = None
+
+    @property
+    def solution_count(self) -> int:
+        return len(self.detections)
+
+
+def _reduce_outcome(
+    spec: RunSpec, outcome: Any, duration: float, capture_trace: bool
+) -> ShardResult:
+    from .harness import RunResult
+
+    if isinstance(outcome, RunResult):
+        return ShardResult(
+            label=spec.label,
+            seed=spec.seed,
+            duration_s=duration,
+            metrics=outcome.metrics,
+            detections=list(outcome.detections),
+            registry=outcome.sim.telemetry.registry,
+            trace=outcome.trace if capture_trace else None,
+        )
+    return ShardResult(
+        label=spec.label, seed=spec.seed, duration_s=duration, value=outcome
+    )
+
+
+def _execute_shard(work: Tuple[RunSpec, bool]) -> ShardResult:
+    """Worker entry point (module-level, so the pool can import it)."""
+    spec, capture_trace = work
+    start = time.perf_counter()
+    outcome = spec.execute()
+    duration = time.perf_counter() - start
+    return _reduce_outcome(spec, outcome, duration, capture_trace)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+@dataclass
+class ShardReport:
+    """A whole sweep, folded back together in spec order."""
+
+    shards: List[ShardResult]
+    workers: int
+    metrics: RunMetrics
+    telemetry: MetricsRegistry
+
+    @property
+    def detections(self) -> list:
+        """All shards' detection records, concatenated in spec order."""
+        out: list = []
+        for shard in self.shards:
+            out.extend(shard.detections)
+        return out
+
+    @property
+    def values(self) -> list:
+        """Raw return values of non-harness specs, in spec order."""
+        return [shard.value for shard in self.shards]
+
+    def shard_skew(self) -> float:
+        """Slowest/fastest shard wall-clock ratio (1.0 = perfectly even;
+        ``repro-trace`` reports this from the duration histogram)."""
+        durations = [s.duration_s for s in self.shards if s.duration_s > 0]
+        if not durations:
+            return 1.0
+        return max(durations) / min(durations)
+
+    #: Metrics that legitimately vary with worker count / wall clock —
+    #: everything else in the merged exposition must be identical for
+    #: any ``workers`` setting.
+    WALL_CLOCK_METRICS = ("repro_shard_duration_seconds", "repro_shard_workers")
+
+    def deterministic_exposition(self) -> str:
+        """The merged registry's Prometheus text with the wall-clock
+        metrics stripped — the byte-comparable determinism surface of a
+        sweep (``workers=1`` and ``workers=N`` must agree on it)."""
+        from ..obs.export import prometheus_text
+
+        lines = [
+            line
+            for line in prometheus_text(self.telemetry).splitlines()
+            if not any(w in line.split("{")[0] for w in self.WALL_CLOCK_METRICS)
+        ]
+        return "\n".join(lines) + "\n"
+
+
+class ShardedRunner:
+    """Execute a list of :class:`RunSpec` across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) runs in-process — the exact sequential path,
+        with no executor, no pickling and no subprocess, kept as the
+        determinism reference.  ``>1`` fans out over a process pool;
+        results are gathered in spec order regardless of completion
+        order.
+    capture_trace:
+        Ship each harness run's :class:`~repro.sim.trace.ExecutionTrace`
+        back in the shard result (they can be large; off by default).
+    """
+
+    def __init__(self, *, workers: int = 1, capture_trace: bool = False) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.capture_trace = capture_trace
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> ShardReport:
+        specs = list(specs)
+        work = [(spec, self.capture_trace) for spec in specs]
+        if self.workers == 1 or len(specs) <= 1:
+            shards = [_execute_shard(item) for item in work]
+        else:
+            max_workers = min(self.workers, len(specs), (os.cpu_count() or 1) * 8)
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                shards = list(pool.map(_execute_shard, work, chunksize=1))
+        return self._fold(shards)
+
+    # ------------------------------------------------------------------
+    def _fold(self, shards: List[ShardResult]) -> ShardReport:
+        metrics = RunMetrics.merged(
+            [shard.metrics for shard in shards if shard.metrics is not None]
+        )
+        telemetry = MetricsRegistry()
+        for shard in shards:
+            if shard.registry is not None:
+                telemetry.merge(shard.registry)
+        self._republish_alpha(telemetry)
+        duration = telemetry.histogram(
+            "repro_shard_duration_seconds",
+            "Wall-clock seconds per experiment shard (skew diagnostics).",
+            SHARD_DURATION_BUCKETS,
+        )
+        for shard in shards:
+            duration.observe(shard.duration_s)
+        telemetry.counter(
+            "repro_shards_total", "Experiment shards executed by ShardedRunner."
+        ).inc(len(shards))
+        telemetry.gauge(
+            "repro_shard_workers", "Worker processes configured for the sweep."
+        ).set(self.workers)
+        return ShardReport(
+            shards=shards, workers=self.workers, metrics=metrics, telemetry=telemetry
+        )
+
+    @staticmethod
+    def _republish_alpha(telemetry: MetricsRegistry) -> None:
+        """Recompute per-level realized α from the *merged* detection /
+        offer counters (a gauge merge alone would keep the last shard's
+        value, not the sweep-wide ratio)."""
+        detections = telemetry.get("repro_level_detections_total")
+        offers = telemetry.get("repro_level_offers_total")
+        if detections is None or offers is None:
+            return
+        alpha = telemetry.gauge_vec(
+            "repro_level_realized_alpha",
+            "Realized aggregation probability α per tree level.",
+            ("level",),
+        )
+        for level, count in offers.items():
+            if count:
+                alpha[level] = detections.get(level, 0) / count

@@ -48,13 +48,29 @@ def scaling_sweep(
     p: int = 10,
     sync_prob: float = 0.7,
     seed: int = 13,
+    workers: int = 1,
 ) -> List[ScalingPoint]:
-    points: List[ScalingPoint] = []
+    """``workers`` shards the ``2 × len(heights)`` independent runs over
+    the parallel engine; points are identical for any worker count."""
+    from .parallel import RunSpec, ShardedRunner
+
+    specs = []
     for h in heights:
         config = EpochConfig(epochs=p, sync_prob=sync_prob)
-        hier = run_hierarchical(SpanningTree.regular(d, h), seed=seed, config=config)
-        cent = run_centralized(SpanningTree.regular(d, h), seed=seed, config=config)
-        n = hier.tree.n
+        for name, fn in (("hier", run_hierarchical), ("cent", run_centralized)):
+            specs.append(
+                RunSpec(
+                    fn=fn,
+                    args=(SpanningTree.regular(d, h),),
+                    kwargs={"config": config},
+                    seed=seed,
+                    label=f"scaling-{name}-d{d}h{h}",
+                )
+            )
+    report = ShardedRunner(workers=workers).run(specs)
+    points: List[ScalingPoint] = []
+    for h, hier, cent in zip(heights, report.shards[0::2], report.shards[1::2]):
+        n = SpanningTree.regular(d, h).n
         points.append(
             ScalingPoint(
                 d=d,

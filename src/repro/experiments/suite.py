@@ -35,12 +35,16 @@ def _header(title: str) -> str:
     return f"{bar}\n{title}\n{bar}"
 
 
-def generate_report(*, p: int = 10, seed: int = 7, empirical: bool = True) -> str:
-    """Run everything; return the full report text."""
+def generate_report(
+    *, p: int = 10, seed: int = 7, empirical: bool = True, workers: int = 1
+) -> str:
+    """Run everything; return the full report text.  ``workers`` shards
+    the sweeps that go through the parallel engine (Table I, scaling,
+    tree-shape ablation); the report is identical for any value."""
     sections: List[str] = []
 
     sections.append(_header("Table I — complexity comparison"))
-    sections.append(format_table1(run_table1(p=p, seed=seed)))
+    sections.append(format_table1(run_table1(p=p, seed=seed, workers=workers)))
 
     for d, label in ((2, "Figure 4"), (4, "Figure 5")):
         sections.append(_header(f"{label} — message complexity (d={d})"))
@@ -53,7 +57,7 @@ def generate_report(*, p: int = 10, seed: int = 7, empirical: bool = True) -> st
             )
 
     sections.append(_header("Extension — Table-I scaling, measured"))
-    points = scaling_sweep(d=2, heights=(3, 4, 5), p=p, seed=seed)
+    points = scaling_sweep(d=2, heights=(3, 4, 5), p=p, seed=seed, workers=workers)
     sections.append(
         render_table(
             ["h", "n", "cmp max/node hier", "cmp max/node cent",
@@ -86,7 +90,7 @@ def generate_report(*, p: int = 10, seed: int = 7, empirical: bool = True) -> st
     sections.append(format_starvation(starvation_comparison(p=p, seed=seed)))
 
     sections.append(_header("Ablation — tree shape"))
-    shapes = tree_shape_ablation(p=p, sync_prob=1.0, seed=seed)
+    shapes = tree_shape_ablation(p=p, sync_prob=1.0, seed=seed, workers=workers)
     sections.append(
         render_table(
             ["shape", "d", "h", "n", "msgs", "max cmp/node", "detections"],

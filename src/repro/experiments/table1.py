@@ -36,7 +36,7 @@ from ..topology.spanning_tree import SpanningTree
 from ..workload.generator import EpochConfig
 from .harness import run_centralized, run_hierarchical
 
-__all__ = ["Table1Row", "run_table1", "format_table1"]
+__all__ = ["Table1Row", "run_table1", "format_table1", "table1_specs"]
 
 
 @dataclass
@@ -60,22 +60,57 @@ class Table1Row:
     realized_alpha: float
 
 
+def table1_specs(
+    configs: Sequence[Tuple[int, int]],
+    *,
+    p: int = 10,
+    sync_prob: float = 0.7,
+    seed: int = 7,
+) -> list:
+    """The sweep as :class:`~repro.experiments.parallel.RunSpec` pairs
+    (hierarchical then centralized per config, in config order) — the
+    unit the sharded runner fans out."""
+    from .parallel import RunSpec
+
+    specs = []
+    for d, h in configs:
+        config = EpochConfig(epochs=p, sync_prob=sync_prob)
+        for name, fn in (("hier", run_hierarchical), ("cent", run_centralized)):
+            specs.append(
+                RunSpec(
+                    fn=fn,
+                    args=(SpanningTree.regular(d, h),),
+                    kwargs={"config": config},
+                    seed=seed,
+                    label=f"table1-{name}-d{d}h{h}",
+                )
+            )
+    return specs
+
+
 def run_table1(
     configs: Sequence[Tuple[int, int]] = ((2, 3), (2, 4), (3, 3), (4, 3)),
     *,
     p: int = 10,
     sync_prob: float = 0.7,
     seed: int = 7,
+    workers: int = 1,
 ) -> List[Table1Row]:
-    """Run both algorithms on each ``(d, h)`` tree and measure."""
+    """Run both algorithms on each ``(d, h)`` tree and measure.
+
+    ``workers`` shards the ``2 × len(configs)`` independent runs over a
+    process pool (see :mod:`repro.experiments.parallel`); the rows are
+    identical for any worker count.
+    """
+    from .parallel import ShardedRunner
+
+    specs = table1_specs(configs, p=p, sync_prob=sync_prob, seed=seed)
+    report = ShardedRunner(workers=workers).run(specs)
     rows: List[Table1Row] = []
-    for d, h in configs:
+    for (d, h), hier, cent in zip(
+        configs, report.shards[0::2], report.shards[1::2]
+    ):
         tree = SpanningTree.regular(d, h)
-        config = EpochConfig(epochs=p, sync_prob=sync_prob)
-        hier = run_hierarchical(tree, seed=seed, config=config)
-        cent = run_centralized(
-            SpanningTree.regular(d, h), seed=seed, config=config
-        )
         upper_alphas = [
             alpha
             for level, alpha in hier.metrics.realized_alpha_by_level.items()

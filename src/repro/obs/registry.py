@@ -62,6 +62,9 @@ class CounterMetric:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def merge(self, other: "CounterMetric") -> None:
+        self.value += other.value
+
     def samples(self) -> Iterator[Tuple[dict, float]]:
         yield {}, self.value
 
@@ -85,6 +88,12 @@ class Gauge:
 
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        # Gauges are point-in-time values; the incoming snapshot wins
+        # (registries are merged in shard order, so this is still
+        # deterministic for any worker count).
+        self.value = other.value
 
     def samples(self) -> Iterator[Tuple[dict, float]]:
         yield {}, self.value
@@ -111,6 +120,12 @@ class _VecMixin:
             yield self._label_dict(key), self[key]
 
 
+def _rebuild_vec(cls, name, help, labelnames, items):
+    vec = cls(name, help, labelnames)
+    vec.update(items)
+    return vec
+
+
 class CounterVec(_VecMixin, _Counter):
     """A labelled counter: a ``Counter`` whose keys are label values.
 
@@ -126,6 +141,19 @@ class CounterVec(_VecMixin, _Counter):
         self.help = help
         self.labelnames = tuple(labelnames)
 
+    def merge(self, other: "CounterVec") -> None:
+        for key, value in other.items():
+            self[key] += value
+
+    def __reduce__(self):
+        # Counter.__reduce__ would call ``CounterVec(dict(self))``,
+        # silently binding the counts dict to ``name`` — shard results
+        # cross process boundaries, so spell the rebuild out.
+        return (
+            _rebuild_vec,
+            (type(self), self.name, self.help, self.labelnames, dict(self)),
+        )
+
 
 class GaugeVec(_VecMixin, dict):
     """A labelled gauge; assign with ``vec[key] = value``."""
@@ -137,6 +165,15 @@ class GaugeVec(_VecMixin, dict):
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+
+    def merge(self, other: "GaugeVec") -> None:
+        self.update(other)
+
+    def __reduce__(self):
+        return (
+            _rebuild_vec,
+            (type(self), self.name, self.help, self.labelnames, dict(self)),
+        )
 
 
 class Histogram:
@@ -197,6 +234,26 @@ class Histogram:
         index = max(0, math.ceil(q / 100.0 * len(self._values)) - 1)
         return self._values[index]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket edges (merging differently bucketed
+        histograms would silently misattribute counts).  The raw
+        observations are re-merged sorted, so exact percentiles keep
+        working on the combined population.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket mismatch "
+                f"{other.buckets} vs {self.buckets}"
+            )
+        self.bucket_counts = [
+            mine + theirs
+            for mine, theirs in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        self.sum += other.sum
+        self._values = sorted(self._values + other._values)
+
     @property
     def values(self) -> Tuple[float, ...]:
         """All observations, sorted ascending."""
@@ -250,6 +307,38 @@ class MetricsRegistry:
         self, name: str, help: str = "", labelnames: Sequence[str] = ()
     ) -> GaugeVec:
         return self._get_or_create(name, GaugeVec, help, labelnames)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of *other* into this registry.
+
+        Counters (scalar and labelled) and histograms accumulate;
+        gauges take the incoming snapshot's value.  Metrics absent here
+        are adopted with *other*'s type and metadata.  This is the
+        reduction the sharded experiment runner applies, in shard
+        order, to produce one registry for a whole parallel sweep —
+        merging is associative for counters/histograms, and shard order
+        is fixed by the spec list, so the merged exposition is
+        deterministic for any worker count.
+        """
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = self.histogram(name, theirs.help, theirs.buckets)
+                elif isinstance(theirs, (CounterVec, GaugeVec)):
+                    mine = self._get_or_create(
+                        name, type(theirs), theirs.help, theirs.labelnames
+                    )
+                else:
+                    mine = self._get_or_create(name, type(theirs), theirs.help)
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(theirs).__name__} into {type(mine).__name__}"
+                )
+            mine.merge(theirs)
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[Metric]:

@@ -13,11 +13,17 @@ from __future__ import annotations
 import heapq
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
 __all__ = ["Simulator", "ScheduledEvent"]
+
+#: Seeds accepted by :class:`Simulator` — a plain int (legacy, keeps the
+#: historical stream derivation byte-stable) or a
+#: :class:`numpy.random.SeedSequence`, typically one spawned per shard
+#: by :class:`~repro.experiments.parallel.ShardedRunner`.
+SimSeed = Union[int, np.random.SeedSequence]
 
 
 @dataclass(order=True)
@@ -45,17 +51,31 @@ class Simulator:
     Parameters
     ----------
     seed:
-        Master seed.  Every RNG stream is derived as
-        ``SeedSequence([seed, crc32(name)])`` so stream identity depends
-        only on its name, never on creation order.
+        Master seed.  Stream identity depends only on a stream's name,
+        never on creation order:
+
+        * an **int** seed keeps the historical derivation
+          ``SeedSequence([seed, crc32(name)])`` byte-stable — the compat
+          path every pre-existing experiment (and the sharded runner's
+          ``workers=1`` determinism contract) relies on;
+        * a :class:`numpy.random.SeedSequence` (e.g. a child spawned via
+          ``SeedSequence.spawn`` for one shard of a parallel sweep)
+          derives each stream by *extending the spawn key* with the
+          name's raw UTF-8 bytes.  No hashing is involved, so two
+          distinct shard seeds can never collide on a stream the way two
+          ints colliding with a crc32 could — the spawn-key tree keys
+          streams apart by construction.
     """
 
-    def __init__(self, seed: int = 0, *, log_capacity: Optional[int] = None) -> None:
+    def __init__(self, seed: SimSeed = 0, *, log_capacity: Optional[int] = None) -> None:
         from ..obs.telemetry import Telemetry
         from .eventlog import EventLog
 
         self.now: float = 0.0
         self.seed = seed
+        self._seedseq: Optional[np.random.SeedSequence] = (
+            seed if isinstance(seed, np.random.SeedSequence) else None
+        )
         self._heap: list[ScheduledEvent] = []
         self._tie = 0
         self._cancelled_in_heap = 0
@@ -77,8 +97,22 @@ class Simulator:
         """The named RNG stream (created on first use)."""
         gen = self._rngs.get(name)
         if gen is None:
-            key = zlib.crc32(name.encode("utf-8"))
-            gen = np.random.default_rng(np.random.SeedSequence([self.seed, key]))
+            if self._seedseq is not None:
+                # Collision-free: the stream is a SeedSequence child
+                # keyed by the name's raw bytes under this simulator's
+                # own spawn key — no hash, so distinct (shard, name)
+                # pairs are distinct by construction.
+                sequence = np.random.SeedSequence(
+                    entropy=self._seedseq.entropy,
+                    spawn_key=tuple(self._seedseq.spawn_key)
+                    + tuple(name.encode("utf-8")),
+                )
+            else:
+                # Legacy int-seed shim: byte-stable with every recorded
+                # baseline (regression-tested in tests/sim/test_kernel).
+                key = zlib.crc32(name.encode("utf-8"))
+                sequence = np.random.SeedSequence([self.seed, key])
+            gen = np.random.default_rng(sequence)
             self._rngs[name] = gen
         return gen
 

@@ -1,9 +1,12 @@
-"""Trace (de)serialization.
+"""Trace and detection (de)serialization.
 
 Executions are valuable artifacts: a trace captured from a live run (or
 a scripted scenario) can be archived, shipped in a bug report, replayed
-through any detector offline, and diffed across library versions.  The
-JSON schema is deliberately flat and stable:
+through any detector offline, and diffed across library versions.
+Detection records round-trip too — the sharded experiment runner
+returns them across process boundaries, so both the JSON forms here and
+plain pickling must reproduce them exactly (the test-suite pins both).
+The JSON schema is deliberately flat and stable:
 
 ```json
 {
@@ -26,11 +29,22 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import List, Union
 
 from .trace import ExecutionTrace, ProcessEvent
 
-__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "interval_to_dict",
+    "interval_from_dict",
+    "detection_to_dict",
+    "detection_from_dict",
+    "detections_to_dicts",
+    "detections_from_dicts",
+]
 
 _SCHEMA_VERSION = 1
 
@@ -75,6 +89,109 @@ def trace_from_dict(data: dict) -> ExecutionTrace:
             time=float(entry.get("t", 0.0)),
         )
     return trace
+
+
+# ----------------------------------------------------------------------
+# intervals and detection records
+# ----------------------------------------------------------------------
+def interval_to_dict(interval) -> dict:
+    """JSON-ready form of an :class:`~repro.intervals.Interval`,
+    recursing through aggregation provenance (``parts``)."""
+    out = {
+        "owner": interval.owner,
+        "seq": interval.seq,
+        "lo": interval.lo.tolist(),
+        "hi": interval.hi.tolist(),
+        "members": sorted(interval.members),
+    }
+    if interval.parts:
+        out["parts"] = [interval_to_dict(part) for part in interval.parts]
+    return out
+
+
+def interval_from_dict(data: dict):
+    import numpy as np
+
+    from ..intervals import Interval
+
+    return Interval(
+        owner=int(data["owner"]),
+        seq=int(data["seq"]),
+        lo=np.array(data["lo"], dtype=np.int64),
+        hi=np.array(data["hi"], dtype=np.int64),
+        members=frozenset(int(m) for m in data["members"]),
+        parts=tuple(interval_from_dict(part) for part in data.get("parts", ())),
+    )
+
+
+def _key_to_json(key):
+    """Queue keys are ints (pids / the local-queue 0) or strings; encode
+    the type so ``0`` and ``"0"`` survive distinctly."""
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise TypeError(f"unserializable queue key {key!r} (want int or str)")
+    return ["i", key] if isinstance(key, int) else ["s", key]
+
+
+def _key_from_json(tagged):
+    tag, value = tagged
+    if tag == "i":
+        return int(value)
+    if tag == "s":
+        return str(value)
+    raise ValueError(f"unknown queue-key tag {tag!r}")
+
+
+def detection_to_dict(record) -> dict:
+    """JSON-ready form of a
+    :class:`~repro.detect.roles.DetectionRecord`."""
+    solution = record.solution
+    return {
+        "time": record.time,
+        "detector": record.detector,
+        "solution": {
+            "detector": solution.detector,
+            "index": solution.index,
+            "heads": [
+                [_key_to_json(key), interval_to_dict(interval)]
+                for key, interval in solution.heads.items()
+            ],
+        },
+        "aggregate": (
+            interval_to_dict(record.aggregate)
+            if record.aggregate is not None
+            else None
+        ),
+    }
+
+
+def detection_from_dict(data: dict):
+    from ..detect.base import Solution
+    from ..detect.roles import DetectionRecord
+
+    payload = data["solution"]
+    solution = Solution(
+        detector=int(payload["detector"]),
+        index=int(payload["index"]),
+        heads={
+            _key_from_json(key): interval_from_dict(interval)
+            for key, interval in payload["heads"]
+        },
+    )
+    aggregate = data.get("aggregate")
+    return DetectionRecord(
+        time=float(data["time"]),
+        detector=int(data["detector"]),
+        solution=solution,
+        aggregate=interval_from_dict(aggregate) if aggregate is not None else None,
+    )
+
+
+def detections_to_dicts(records) -> List[dict]:
+    return [detection_to_dict(record) for record in records]
+
+
+def detections_from_dicts(data) -> list:
+    return [detection_from_dict(entry) for entry in data]
 
 
 def save_trace(trace: ExecutionTrace, path: Union[str, Path]) -> None:

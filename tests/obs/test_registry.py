@@ -131,3 +131,109 @@ class TestRegistry:
         registry = MetricsRegistry()
         assert registry.get("nope") is None
         assert "nope" not in registry
+
+
+class TestMerge:
+    def test_counters_and_vecs_accumulate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.counter_vec("v", "", ("node",))["0"] += 1
+        b.counter_vec("v", "", ("node",))["0"] += 4
+        b.counter_vec("v")["1"] += 7
+        a.merge(b)
+        assert a.get("c").value == 5
+        assert dict(a.get("v")) == {"0": 5, "1": 7}
+
+    def test_gauge_takes_incoming_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.get("g").value == 9
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", "", (1.0, 2.0)).observe(0.5)
+        b.histogram("h", "", (1.0, 2.0)).observe(1.5)
+        b.get("h").observe(0.7)
+        a.merge(b)
+        merged = a.get("h")
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(2.7)
+        assert merged.percentile(50) == 0.7
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", "", (1.0,))
+        b.histogram("h", "", (2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_missing_metrics_adopted_with_metadata(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter_vec("v", "helpful", ("plane", "type"))[("c", "x")] += 2
+        b.histogram("h", "lat", (0.5, 1.0)).observe(0.2)
+        a.merge(b)
+        assert a.get("v").help == "helpful"
+        assert a.get("v").labelnames == ("plane", "type")
+        assert a.get("h").buckets == b.get("h").buckets
+        # adopted copies must not alias the source registry's metric
+        b.get("v")[("c", "x")] += 1
+        assert a.get("v")[("c", "x")] == 2
+
+    def test_type_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("m")
+        b.gauge("m")
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_merge_is_associative_for_counters(self):
+        parts = []
+        for value in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(value)
+            parts.append(registry)
+        left = MetricsRegistry()
+        for part in parts:
+            left.merge(part)
+        right = MetricsRegistry()
+        right.merge(parts[0])
+        tail = MetricsRegistry()
+        tail.merge(parts[1])
+        tail.merge(parts[2])
+        right.merge(tail)
+        assert left.get("c").value == right.get("c").value == 6
+
+
+class TestPickling:
+    """Shard results carry registries across process boundaries."""
+
+    def test_all_metric_types_round_trip(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("c", "ch").inc(3)
+        registry.gauge("g", "gh").set(-2)
+        registry.counter_vec("cv", "cvh", ("node",))["5"] += 4
+        registry.gauge_vec("gv", "gvh", ("level",))["2"] = 0.25
+        registry.histogram("h", "hh", (1.0, 2.0)).observe(1.5)
+        rebuilt = pickle.loads(pickle.dumps(registry))
+        assert rebuilt.get("c").value == 3
+        assert rebuilt.get("g").value == -2
+        assert dict(rebuilt.get("cv")) == {"5": 4}
+        assert rebuilt.get("cv").name == "cv"
+        assert rebuilt.get("cv").labelnames == ("node",)
+        assert dict(rebuilt.get("gv")) == {"2": 0.25}
+        assert rebuilt.get("h").count == 1
+        assert rebuilt.get("h").percentile(50) == 1.5
+
+    def test_vec_reduce_does_not_bind_counts_to_name(self):
+        import pickle
+
+        vec = CounterVec("v", "help", ("node",))
+        vec["0"] += 9
+        rebuilt = pickle.loads(pickle.dumps(vec))
+        assert rebuilt.name == "v" and rebuilt.help == "help"
+        assert dict(rebuilt) == {"0": 9}

@@ -69,3 +69,86 @@ class TestValidation:
         data["events"][0]["ts"] = [5, 5, 5, 5]  # wrong local index
         with pytest.raises(ValueError):
             trace_from_dict(data)
+
+
+class TestDetectionRoundTrip:
+    """Detection records cross process boundaries (sharded runner) and
+    archive as JSON — both representations must reproduce exactly."""
+
+    @staticmethod
+    def _detections():
+        from repro.experiments import run_hierarchical
+        from repro.topology import SpanningTree
+        from repro.workload.generator import EpochConfig
+
+        result = run_hierarchical(
+            SpanningTree.regular(2, 3), seed=7, config=EpochConfig(epochs=4)
+        )
+        assert result.detections
+        return result.detections
+
+    @staticmethod
+    def _signature(record):
+        return (
+            record.time,
+            record.detector,
+            record.solution.detector,
+            record.solution.index,
+            sorted(
+                (key, iv.owner, iv.seq, iv.lo.tolist(), iv.hi.tolist(),
+                 sorted(iv.members), len(iv.parts))
+                for key, iv in record.solution.heads.items()
+            ),
+            record.aggregate.key() if record.aggregate is not None else None,
+        )
+
+    def test_json_round_trip(self):
+        import json
+
+        from repro.sim import detections_from_dicts, detections_to_dicts
+
+        records = self._detections()
+        payload = json.loads(json.dumps(detections_to_dicts(records)))
+        rebuilt = detections_from_dicts(payload)
+        assert [self._signature(r) for r in rebuilt] == [
+            self._signature(r) for r in records
+        ]
+        # aggregation provenance must survive, recursively
+        assert [
+            len(list(r.aggregate.concrete_leaves()))
+            for r in rebuilt
+            if r.aggregate is not None
+        ] == [
+            len(list(r.aggregate.concrete_leaves()))
+            for r in records
+            if r.aggregate is not None
+        ]
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        records = self._detections()
+        rebuilt = pickle.loads(pickle.dumps(records))
+        assert [self._signature(r) for r in rebuilt] == [
+            self._signature(r) for r in records
+        ]
+
+    def test_trace_pickle_round_trip(self):
+        import pickle
+
+        trace = figure2_execution().trace
+        rebuilt = pickle.loads(pickle.dumps(trace))
+        assert rebuilt.n == trace.n
+        assert rebuilt.event_count() == trace.event_count()
+        assert trace_to_dict(rebuilt) == trace_to_dict(trace)
+
+    def test_queue_key_tagging_keeps_types(self):
+        from repro.sim.serialize import _key_from_json, _key_to_json
+
+        assert _key_from_json(_key_to_json(0)) == 0
+        assert _key_from_json(_key_to_json("0")) == "0"
+        assert _key_to_json(0) != _key_to_json("0")
+        with pytest.raises(TypeError):
+            _key_to_json(True)
+        with pytest.raises(TypeError):
+            _key_to_json(1.5)

@@ -392,6 +392,118 @@ def bench_parallel(args) -> dict:
 
 
 # ----------------------------------------------------------------------
+# socket runtime (loopback)
+# ----------------------------------------------------------------------
+def bench_net(args) -> dict:
+    """The ``repro.net`` baseline: a 7-node loopback cluster replaying a
+    simulator-derived interval script.
+
+    Two headline numbers: **frames/sec** moved through the full
+    encode → frame → decode path, and the **end-to-end detection
+    latency** — wall seconds from the *last* concrete interval of a
+    solution being offered at its leaf to the root announcing the
+    detection (i.e. the real-network analogue of
+    ``repro_detection_latency``).  Also asserts the run's solution set
+    matches the reference simulation exactly.
+    """
+    import asyncio
+
+    from repro.monitor import HeartbeatSpec
+    from repro.net import (
+        ClusterSpec,
+        LocalCluster,
+        simulation_script,
+        solution_signatures,
+    )
+
+    epochs = 2 if args.quick else 6
+    repeats = 2 if args.quick else min(args.repeats, 3)
+    spec = ClusterSpec(
+        nodes=7,
+        degree=2,
+        seed=args.timing_seed,
+        transport="loopback",
+        interval_spacing=0.002,
+        start_delay=0.05,
+        epochs=epochs,
+        heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
+    )
+    script = simulation_script(spec.tree(), seed=spec.seed, epochs=epochs)
+
+    async def one_run():
+        cluster = LocalCluster(spec, script=script)
+        offered_at = {}
+        await cluster.start()
+        # Stamp each interval's offer time for the latency measurement
+        # (offers start after start_delay, so wrapping here is safe).
+        for runtime in cluster.runtimes.values():
+            original = runtime.offer_local
+
+            def wrapped(interval, opened_at=None, *, _orig=original, _c=cluster):
+                offered_at[(interval.owner, interval.seq)] = _c.clock.now
+                _orig(interval, opened_at)
+
+            runtime.offer_local = wrapped
+        t0 = time.perf_counter()
+        await cluster.run(until_detections=len(script.reference), timeout=120)
+        elapsed = time.perf_counter() - t0
+        await asyncio.sleep(0.1)  # grace: over-detections must surface
+        await cluster.stop()
+
+        latencies = []
+        for record in cluster.detections:
+            last_offer = max(
+                offered_at.get((iv.owner, iv.seq), 0.0)
+                for iv in record.solution.concrete_intervals()
+            )
+            latencies.append(record.time - last_offer)
+        registry = cluster.telemetry.registry
+        frames = registry.get("repro_net_frames_total")
+        out_frames = sum(v for k, v in frames.items() if k[1] == "out")
+        return {
+            "elapsed_s": elapsed,
+            "frames": int(out_frames),
+            "bytes_sent": int(sum(registry.get("repro_net_bytes_sent_total").values())),
+            "latencies": latencies,
+            "signatures": solution_signatures(cluster.detections),
+        }
+
+    runs = [asyncio.run(one_run()) for _ in range(repeats)]
+    best = min(runs, key=lambda r: r["elapsed_s"])
+    latencies = np.array(best["latencies"], dtype=float)
+    reference_match = all(
+        r["signatures"] == solution_signatures(script.reference) for r in runs
+    )
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "net",
+        "quick": args.quick,
+        "params": {
+            "nodes": spec.nodes,
+            "degree": spec.degree,
+            "transport": spec.transport,
+            "epochs": epochs,
+            "intervals": script.total_intervals,
+            "interval_spacing_s": spec.interval_spacing,
+            "repeats": repeats,
+            "seed": args.timing_seed,
+        },
+        "elapsed_s": best["elapsed_s"],
+        "frames": best["frames"],
+        "frames_per_s": best["frames"] / best["elapsed_s"],
+        "bytes_sent": best["bytes_sent"],
+        "detections": len(script.reference),
+        "detection_latency_s": {
+            "p50": float(np.percentile(latencies, 50)),
+            "p95": float(np.percentile(latencies, 95)),
+            "max": float(latencies.max()),
+        },
+        "reference_match": reference_match,
+    }
+
+
+# ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
@@ -422,25 +534,50 @@ def main(argv=None) -> int:
         help="offer_batch chunk size for the parallel benchmark "
         "(0 = whole stream in one call)",
     )
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="also run the socket-runtime loopback benchmark (BENCH_net.json)",
+    )
+    parser.add_argument(
+        "--only",
+        choices=("core_ops", "hierarchy", "parallel", "net"),
+        default=None,
+        help="run a single benchmark instead of the default set",
+    )
     args = parser.parse_args(argv)
 
-    results = {
-        "BENCH_core_ops.json": bench_core_ops(args),
-        "BENCH_hierarchy.json": bench_hierarchy(args),
-        "BENCH_parallel.json": bench_parallel(args),
+    benches = {
+        "core_ops": ("BENCH_core_ops.json", bench_core_ops),
+        "hierarchy": ("BENCH_hierarchy.json", bench_hierarchy),
+        "parallel": ("BENCH_parallel.json", bench_parallel),
+        "net": ("BENCH_net.json", bench_net),
     }
+    if args.only:
+        selected = [args.only]
+    else:
+        selected = ["core_ops", "hierarchy", "parallel"] + (["net"] if args.net else [])
+
+    results = {benches[key][0]: benches[key][1](args) for key in selected}
     args.out_dir.mkdir(parents=True, exist_ok=True)
     failed = False
     for name, payload in results.items():
         path = args.out_dir / name
         path.write_text(json.dumps(payload, indent=2) + "\n")
-        speed = payload["speedup"]
-        ok = (
-            payload.get("determinism", {}).get("all_identical")
-            if "determinism" in payload
-            else payload.get("identical_outcomes")
-        )
-        print(f"{name}: speedup={speed:.2f}x identical={ok} -> {path}")
+        if "speedup" in payload:
+            headline = f"speedup={payload['speedup']:.2f}x"
+        else:
+            headline = (
+                f"frames_per_s={payload['frames_per_s']:.0f} "
+                f"p50_latency={payload['detection_latency_s']['p50'] * 1e3:.1f}ms"
+            )
+        if "determinism" in payload:
+            ok = payload["determinism"].get("all_identical")
+        elif "reference_match" in payload:
+            ok = payload["reference_match"]
+        else:
+            ok = payload.get("identical_outcomes")
+        print(f"{name}: {headline} identical={ok} -> {path}")
         if not ok:
             failed = True
     return 1 if failed else 0

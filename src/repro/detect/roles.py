@@ -69,8 +69,10 @@ class HierarchicalRole:
     children:
         Initial children.
     heartbeat:
-        ``(period, timeout)`` to enable the Section III-F liveness
-        protocol, or ``None`` to run without failure handling.
+        ``(period, timeout)`` or a
+        :class:`~repro.monitor.HeartbeatSpec` to enable the Section
+        III-F liveness protocol, or ``None`` to run without failure
+        handling.
     coordinator:
         The :class:`~repro.fault.RepairCoordinator` to notify on
         suspected crashes.  Without one, a suspicion is handled locally:
@@ -156,7 +158,10 @@ class HierarchicalRole:
         if self._heartbeat_cfg is not None:
             from ..fault.heartbeat import HeartbeatMonitor
 
-            period, timeout = self._heartbeat_cfg
+            cfg = self._heartbeat_cfg
+            # A (period, timeout) tuple or a monitor.spec.HeartbeatSpec
+            # (duck-typed to keep detect free of a monitor import cycle).
+            period, timeout = cfg.as_tuple() if hasattr(cfg, "as_tuple") else cfg
             self.monitor = HeartbeatMonitor(
                 process.sim,
                 process.pid,

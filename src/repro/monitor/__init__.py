@@ -2,11 +2,12 @@
 alarms on every ``Definitely(Φ)`` satisfaction, crash-survivable."""
 
 from .api import DistributedMonitor, VariableProcess
-from .spec import ConjunctivePredicate, LocalClause
+from .spec import ConjunctivePredicate, HeartbeatSpec, LocalClause
 
 __all__ = [
     "ConjunctivePredicate",
     "DistributedMonitor",
+    "HeartbeatSpec",
     "LocalClause",
     "VariableProcess",
 ]

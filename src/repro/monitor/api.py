@@ -46,7 +46,7 @@ from ..sim.network import DelayModel, Network, uniform_delay
 from ..sim.process import MonitoredProcess
 from ..sim.trace import ExecutionTrace
 from ..topology.spanning_tree import SpanningTree
-from .spec import ConjunctivePredicate
+from .spec import ConjunctivePredicate, HeartbeatSpec
 
 __all__ = ["VariableProcess", "DistributedMonitor"]
 
@@ -96,6 +96,7 @@ class DistributedMonitor:
         delay_model: Optional[DelayModel] = None,
         heartbeat: Optional[tuple] = (5.0, 16.0),
     ) -> None:
+        heartbeat = HeartbeatSpec.coerce(heartbeat)
         pids = sorted(graph.nodes)
         if predicate.processes != pids:
             raise ValueError(

@@ -17,9 +17,75 @@ Builders cover the common cases:
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
-__all__ = ["LocalClause", "ConjunctivePredicate"]
+__all__ = ["LocalClause", "ConjunctivePredicate", "HeartbeatSpec"]
+
+
+@dataclass(frozen=True)
+class HeartbeatSpec:
+    """Validated liveness-protocol tunables (Section III-F).
+
+    ``period`` is the heartbeat send interval; a peer silent for longer
+    than the suspicion ``timeout`` is declared failed.  When ``timeout``
+    is not given it is derived from ``loss_tolerance`` — the number of
+    consecutive heartbeats that may be lost or late before suspicion —
+    as ``period * (loss_tolerance + 0.2)``, the extra fifth of a period
+    absorbing one-hop delivery jitter.  The defaults reproduce the
+    historical ``(5.0, 16.0)`` tuple.
+
+    Anywhere a ``(period, timeout)`` tuple is accepted
+    (:class:`~repro.monitor.DistributedMonitor`,
+    :class:`~repro.detect.HierarchicalRole`, the :mod:`repro.net`
+    runtime) a spec can be passed instead; nonsensical values fail here,
+    at construction, rather than as false suspicions mid-run.
+    """
+
+    period: float = 5.0
+    loss_tolerance: int = 3
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.period, (int, float)) and math.isfinite(self.period)):
+            raise ValueError(f"heartbeat period must be finite, got {self.period!r}")
+        if self.period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {self.period}")
+        if not isinstance(self.loss_tolerance, int) or self.loss_tolerance < 1:
+            raise ValueError(
+                "loss_tolerance must be an integer >= 1 (at least one missed "
+                f"heartbeat must be tolerated), got {self.loss_tolerance!r}"
+            )
+        if self.timeout is not None:
+            if not math.isfinite(self.timeout):
+                raise ValueError(f"timeout must be finite, got {self.timeout!r}")
+            if self.timeout <= self.period:
+                raise ValueError(
+                    f"suspicion timeout ({self.timeout}) must exceed the "
+                    f"heartbeat period ({self.period}): a live peer's next "
+                    "beat cannot arrive inside a shorter window"
+                )
+
+    @property
+    def resolved_timeout(self) -> float:
+        if self.timeout is not None:
+            return float(self.timeout)
+        return self.period * (self.loss_tolerance + 0.2)
+
+    def as_tuple(self) -> tuple:
+        """The ``(period, timeout)`` form the heartbeat machinery runs on."""
+        return (float(self.period), self.resolved_timeout)
+
+    @classmethod
+    def coerce(cls, value) -> Optional[tuple]:
+        """Normalize ``None`` / ``(period, timeout)`` / spec to a tuple."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value.as_tuple()
+        period, timeout = value
+        return cls(period=float(period), timeout=float(timeout)).as_tuple()
 
 #: A local clause: variables of one process -> bool.
 LocalClause = Callable[[Mapping[str, object]], bool]

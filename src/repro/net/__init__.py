@@ -1,0 +1,46 @@
+"""``repro.net`` — the asyncio socket runtime.
+
+Everything below :mod:`repro.detect` is transport-agnostic: a
+:class:`~repro.detect.HierarchicalRole` only needs a host exposing
+``pid``, ``send_control`` and a ``sim``-shaped clock/telemetry handle.
+This package supplies real-network implementations of those surfaces,
+so the *unmodified* detection, fault and repair machinery runs over
+length-prefixed TCP frames instead of the discrete-event simulator:
+
+* :class:`AsyncClock` — wall-clock stand-in for the
+  :class:`~repro.sim.Simulator` surface (``now`` / ``schedule`` /
+  ``rng`` / ``emit`` / ``telemetry``) backed by the asyncio loop;
+* :class:`FrameCodec` — the wire protocol: length-prefixed JSON frames
+  over :func:`repro.sim.serialize.message_to_dict`, with per-channel
+  timestamp compression via :func:`repro.clocks.encoding.best_encoding`;
+* :class:`TcpTransport` / :class:`LoopbackTransport` — the
+  :class:`Transport` implementations (sockets, and an in-process hub so
+  unit tests need no ports);
+* :class:`NodeRuntime` — one tree node: a role host plus interval
+  ingestion and heartbeat wiring;
+* :class:`ClusterSpec` / :class:`LocalCluster` — an n-node localhost
+  cluster, also behind the ``repro-cluster`` CLI.
+
+See ``docs/networking.md`` for the architecture and wire format.
+"""
+
+from .clock import AsyncClock
+from .codec import FrameCodec
+from .transport import LoopbackHub, LoopbackTransport, TcpTransport, Transport
+from .runtime import NodeRuntime
+from .cluster import ClusterSpec, LocalCluster
+from .script import simulation_script, solution_signatures
+
+__all__ = [
+    "AsyncClock",
+    "FrameCodec",
+    "Transport",
+    "TcpTransport",
+    "LoopbackTransport",
+    "LoopbackHub",
+    "NodeRuntime",
+    "ClusterSpec",
+    "LocalCluster",
+    "simulation_script",
+    "solution_signatures",
+]

@@ -1,0 +1,247 @@
+"""``repro-cluster`` — run and poke localhost detection clusters.
+
+Three subcommands:
+
+* ``run`` — build an n-node tree, launch every node on its own TCP (or
+  loopback) transport inside one process, replay a simulator-derived
+  interval script and wait for live ``Definitely(Φ)`` detections.  With
+  ``--kill-node`` it additionally crash-stops a node mid-run and only
+  exits 0 if the tree repaired itself *and* detection continued over
+  the survivors — the paper's fault-tolerance claim, demonstrated on
+  real sockets (this is what CI's ``net-smoke`` job runs).
+* ``status`` — query a running cluster's admin endpoint.
+* ``kill-node`` — crash a node in a running cluster via its admin
+  endpoint.
+
+Exports mirror ``repro-trace``: ``--prom`` and ``--jsonl`` write the
+shared telemetry registry / event log, where all ``repro_net_*`` socket
+metrics appear next to the ordinary detection metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description=(
+            "Run the hierarchical Definitely(Φ) detector as a localhost "
+            "socket cluster (one asyncio node per tree vertex)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="launch a cluster and wait for detections")
+    shape = run.add_argument_group("cluster shape")
+    shape.add_argument("--nodes", type=int, default=7, help="tree size (default 7)")
+    shape.add_argument("--degree", type=int, default=2, help="tree fan-out (default 2)")
+    shape.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    shape.add_argument(
+        "--transport",
+        choices=("tcp", "loopback"),
+        default="tcp",
+        help="real sockets, or the in-process loopback hub",
+    )
+    shape.add_argument(
+        "--epochs", type=int, default=4, help="reference-workload epochs (default 4)"
+    )
+    shape.add_argument(
+        "--interval-spacing",
+        type=float,
+        default=0.02,
+        help="wall seconds between a node's successive interval offers",
+    )
+    stop = run.add_argument_group("stopping conditions")
+    stop.add_argument(
+        "--duration", type=float, default=None, help="run for this many wall seconds"
+    )
+    stop.add_argument(
+        "--until-detections",
+        type=int,
+        default=1,
+        help="wait for at least this many detections (default 1)",
+    )
+    stop.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="hard wall-clock bound on each wait (default 60s)",
+    )
+    fault = run.add_argument_group("fault injection")
+    fault.add_argument(
+        "--kill-node",
+        type=int,
+        default=None,
+        metavar="PID",
+        help="crash-stop PID mid-run and require repair + continued detection",
+    )
+    fault.add_argument(
+        "--kill-after-detections",
+        type=int,
+        default=1,
+        help="inject the kill once this many detections have fired (default 1)",
+    )
+    out = run.add_argument_group("exports")
+    out.add_argument("--admin-port", type=int, default=None, help="serve the admin endpoint")
+    out.add_argument("--prom", metavar="PATH", help="write a Prometheus text exposition")
+    out.add_argument("--jsonl", metavar="PATH", help="write the event log as JSON lines")
+    out.add_argument(
+        "--summary-json", metavar="PATH", help="write the run summary as JSON (default: stdout)"
+    )
+
+    status = sub.add_parser("status", help="query a running cluster")
+    kill = sub.add_parser("kill-node", help="crash a node in a running cluster")
+    for sp in (status, kill):
+        sp.add_argument("--host", default="127.0.0.1")
+        sp.add_argument("--admin-port", type=int, required=True)
+    kill.add_argument("--node", type=int, required=True)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+async def _run_cluster(args) -> dict:
+    from .cluster import ClusterSpec, LocalCluster
+
+    spec = ClusterSpec(
+        nodes=args.nodes,
+        degree=args.degree,
+        seed=args.seed,
+        transport=args.transport,
+        epochs=args.epochs,
+        interval_spacing=args.interval_spacing,
+        admin_port=args.admin_port,
+    )
+    cluster = LocalCluster(spec)
+    summary: dict = {"spec": {"nodes": spec.nodes, "degree": spec.degree,
+                              "seed": spec.seed, "transport": spec.transport}}
+    try:
+        await cluster.start()
+        await cluster.run(
+            duration=args.duration,
+            until_detections=args.until_detections,
+            timeout=args.timeout,
+        )
+        summary["detections_before_kill"] = len(cluster.detections)
+
+        if args.kill_node is not None:
+            killed = args.kill_node
+            if killed not in cluster.runtimes:
+                raise SystemExit(f"--kill-node: unknown node {killed}")
+            await cluster.run(
+                until_detections=args.kill_after_detections, timeout=args.timeout
+            )
+            before = len(cluster.detections)
+            cluster.kill_node(killed)
+            deadline = cluster.clock.now + args.timeout
+            # Wait for a repair plan against the killed node, then for a
+            # detection announced *after* the kill that excludes it.
+            while killed not in cluster.coordinator.plans:
+                if cluster.clock.now > deadline:
+                    raise TimeoutError(f"no repair of node {killed} within timeout")
+                await asyncio.sleep(0.01)
+            while True:
+                fresh = cluster.detections[before:]
+                if any(killed not in d.members for d in fresh):
+                    break
+                if cluster.clock.now > deadline:
+                    raise TimeoutError(
+                        f"no post-kill detection excluding node {killed} within timeout"
+                    )
+                await asyncio.sleep(0.01)
+            summary["killed"] = killed
+            summary["repaired"] = True
+            summary["detections_after_kill"] = len(cluster.detections) - before
+    finally:
+        await cluster.stop()
+
+    registry = cluster.telemetry.registry
+    frames = registry.get("repro_net_frames_total")
+    summary.update(
+        detections=len(cluster.detections),
+        solutions=[sorted(d.members) for d in cluster.detections[:16]],
+        frames_total=int(sum(frames.values())) if frames else 0,
+        reconnects=int(sum(registry.get("repro_net_reconnects_total").values()))
+        if registry.get("repro_net_reconnects_total")
+        else 0,
+        false_suspicions=len(cluster.log.of_kind("false_suspicion")),
+        uptime=round(cluster.clock.now, 3),
+    )
+
+    if args.prom:
+        from ..obs.export import prometheus_text
+
+        with open(args.prom, "w", encoding="utf-8") as fp:
+            fp.write(prometheus_text(registry))
+    if args.jsonl:
+        from ..obs.export import eventlog_to_jsonl
+
+        eventlog_to_jsonl(cluster.log, args.jsonl)
+    return summary
+
+
+def _cmd_run(args) -> int:
+    try:
+        summary = asyncio.run(_run_cluster(args))
+    except TimeoutError as exc:
+        print(f"repro-cluster: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fp:
+            fp.write(text + "\n")
+    print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# admin clients
+# ----------------------------------------------------------------------
+async def _admin_request(host: str, port: int, request: dict) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _cmd_admin(args, request: dict) -> int:
+    try:
+        response = asyncio.run(_admin_request(args.host, args.admin_port, request))
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-cluster: cannot reach admin endpoint: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "status":
+        return _cmd_admin(args, {"cmd": "status"})
+    if args.command == "kill-node":
+        return _cmd_admin(args, {"cmd": "kill-node", "node": args.node})
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

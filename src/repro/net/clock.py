@@ -1,0 +1,114 @@
+"""Wall-clock stand-in for the :class:`~repro.sim.Simulator` surface.
+
+The detection stack never imports the simulation kernel's event loop
+directly — roles, heartbeat monitors and the repair coordinator only
+touch a narrow surface of their ``sim`` handle: ``now``, ``schedule``,
+``schedule_at``, ``rng``, ``emit``, ``log`` and ``telemetry``.
+:class:`AsyncClock` implements exactly that surface against the running
+asyncio loop, so the same classes run unmodified on a real network:
+
+* ``now`` is wall time in seconds since the clock started (monotonic,
+  from ``loop.time()``), so timeouts and latency histograms read in
+  real seconds;
+* ``schedule`` is ``loop.call_later`` behind the same
+  cancel-handle contract as :class:`~repro.sim.kernel.ScheduledEvent`;
+* ``rng`` derives the same named deterministic streams as the
+  simulator's int-seed path, so e.g. heartbeat tick phases stay
+  reproducible given a cluster seed;
+* ``emit``/``telemetry`` feed the ordinary :mod:`repro.obs` pipeline —
+  one :class:`~repro.obs.Telemetry` can be shared across every node of
+  an in-process cluster, which is what parents report/alarm spans
+  across node boundaries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..obs.telemetry import Telemetry
+from ..sim.eventlog import EventLog
+
+__all__ = ["AsyncClock", "ClockHandle"]
+
+
+class ClockHandle:
+    """Cancel-handle for a scheduled callback (``ScheduledEvent`` shape)."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class AsyncClock:
+    """The ``sim`` handle of the socket runtime.
+
+    The clock binds to the running loop lazily on first use, so it can
+    be constructed (and handed to roles at bind time) before
+    ``asyncio.run`` starts.  ``now`` is ``0.0`` until then.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
+        log: Optional[EventLog] = None,
+        log_capacity: Optional[int] = 65536,
+    ) -> None:
+        self.seed = seed
+        self.telemetry = telemetry or Telemetry()
+        self.log = log or EventLog(capacity=log_capacity)
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._origin: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+            self._origin = self._loop.time()
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._origin
+
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> np.random.Generator:
+        """Named deterministic stream — same derivation as the
+        simulator's legacy int-seed path, so a (seed, name) pair yields
+        the same stream whether the stack runs simulated or networked."""
+        gen = self._rngs.get(name)
+        if gen is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.default_rng(np.random.SeedSequence([self.seed, key]))
+            self._rngs[name] = gen
+        return gen
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> ClockHandle:
+        """Run *action* ``delay`` wall-seconds from now."""
+        loop = self._ensure_loop()
+        return ClockHandle(loop.call_later(max(0.0, delay), action))
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ClockHandle:
+        """Run *action* at clock time *time* (seconds since start)."""
+        return self.schedule(time - self.now, action)
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, node=None, **fields) -> None:
+        self.log.emit(self.now, kind, node, **fields)

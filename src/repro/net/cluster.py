@@ -1,0 +1,339 @@
+"""Launching a whole detection tree as a localhost cluster.
+
+:class:`LocalCluster` builds one :class:`~repro.net.runtime.NodeRuntime`
+per tree node inside a single asyncio loop — separate sockets, separate
+heartbeats, separate detector state, shared wall clock and telemetry.
+Sharing the :class:`~repro.net.clock.AsyncClock` (and therefore one
+:class:`~repro.obs.Telemetry`) is what keeps the cross-node trace whole:
+an alarm span at the root adopts report spans from children exactly as
+in the simulator.
+
+The workload is an *interval script* — per-node interval streams
+captured from a reference simulator run
+(:func:`~repro.net.script.simulation_script`) — so a cluster run is
+directly comparable to the simulation that produced the script: same
+trees, same intervals, and (by the detection core's interleaving
+confluence) the same solutions.
+
+Fault tolerance is exercised for real: :meth:`kill_node` stops a node's
+role and sockets mid-run; surviving peers notice via missed socket
+heartbeats, their :class:`~repro.fault.HeartbeatMonitor` reports the
+suspicion, and the stock repair machinery
+(:func:`repro.topology.repair.apply_repair`) rewires the tree.  The only
+network-specific twist is :class:`_ClusterCoordinator`: on a wall clock
+a loaded machine can stall past a heartbeat timeout, so a suspicion
+against a live node is logged and forgiven rather than treated as a
+configuration bug like the simulator does.
+
+An optional admin endpoint (newline-delimited JSON over TCP) powers the
+``repro-cluster status`` / ``kill-node`` commands against a running
+cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..detect.roles import DetectionRecord
+from ..fault.coordinator import RepairCoordinator
+from ..monitor.spec import HeartbeatSpec
+from ..topology.spanning_tree import SpanningTree
+from .clock import AsyncClock
+from .codec import FrameCodec
+from .runtime import NodeRuntime
+from .script import IntervalScript, simulation_script
+from .transport import LoopbackHub, LoopbackTransport, TcpTransport
+
+__all__ = ["ClusterSpec", "LocalCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and timing of a localhost cluster."""
+
+    nodes: int = 7
+    degree: int = 2
+    seed: int = 1
+    transport: str = "tcp"  # "tcp" | "loopback"
+    host: str = "127.0.0.1"
+    #: wall-clock heartbeat timing; the default suspects a dead peer
+    #: within ~2 s while tolerating multi-hundred-ms scheduler stalls
+    heartbeat: HeartbeatSpec = field(
+        default_factory=lambda: HeartbeatSpec(period=0.25, loss_tolerance=7)
+    )
+    repair_latency: float = 0.05
+    include_parts: bool = True
+    #: reference-workload epochs (per-node interval count driver)
+    epochs: int = 4
+    #: wall seconds between consecutive offers of one node's stream
+    interval_spacing: float = 0.02
+    #: wall seconds between cluster start and the first offer
+    start_delay: float = 0.2
+    #: TCP port for the admin endpoint (None disables it)
+    admin_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if self.degree < 1:
+            raise ValueError("tree degree must be >= 1")
+        if self.transport not in ("tcp", "loopback"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+
+    def tree(self) -> SpanningTree:
+        """Breadth-first ``degree``-ary tree over ``nodes`` nodes."""
+        parent: Dict[int, Optional[int]] = {0: None}
+        for i in range(1, self.nodes):
+            parent[i] = (i - 1) // self.degree if self.degree > 1 else i - 1
+        return SpanningTree(0, parent)
+
+
+class _ClusterCoordinator(RepairCoordinator):
+    """Repair coordination adapted to wall-clock reality.
+
+    Differences from the simulator coordinator:
+
+    * a suspicion against a live node is *forgiven* (event
+      ``false_suspicion``) instead of raising — on real machines a GC
+      pause or CI stall can outlast any sane heartbeat timeout;
+    * once a plan is applied, survivors drop the dead peer's transport
+      link so writer tasks stop redialling a closed listener.
+    """
+
+    def __init__(self, *args, cluster: "LocalCluster", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.cluster = cluster
+
+    def report_failure(self, failed: int, reporter: int) -> None:
+        if failed not in self._handled and self._is_alive(failed):
+            self.sim.emit("false_suspicion", node=reporter, suspect=failed)
+            return
+        super().report_failure(failed, reporter)
+
+    def _apply(self, plan) -> None:
+        super()._apply(plan)
+        self.cluster._disconnect(plan.failed)
+
+
+class LocalCluster:
+    """All nodes of one detection tree, in one process, on real (or
+    loopback) transports."""
+
+    def __init__(
+        self, spec: ClusterSpec, *, script: Optional[IntervalScript] = None
+    ) -> None:
+        self.spec = spec
+        self.tree = spec.tree()
+        self.clock = AsyncClock(seed=spec.seed)
+        self.script = script  # built lazily so loopback tests can inject
+        self.detections: List[DetectionRecord] = []
+        self.runtimes: Dict[int, NodeRuntime] = {}
+        self.roles: Dict[int, object] = {}
+        self.coordinator = _ClusterCoordinator(
+            self.clock,
+            self.tree,
+            self.tree.as_graph(),
+            self.roles,
+            repair_latency=spec.repair_latency,
+            is_alive=self.is_alive,
+            cluster=self,
+        )
+        self._hub = LoopbackHub() if spec.transport == "loopback" else None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
+        self._offer_handles: List[object] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        return self.clock.telemetry
+
+    @property
+    def log(self):
+        return self.clock.log
+
+    def is_alive(self, pid: int) -> bool:
+        runtime = self.runtimes.get(pid)
+        return runtime is not None and runtime.alive
+
+    def _codec_factory(self) -> FrameCodec:
+        return FrameCodec(include_parts=self.spec.include_parts)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bring every node up, connect the mesh, start the workload."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        if self.script is None:
+            self.script = simulation_script(
+                self.tree, seed=self.spec.seed, epochs=self.spec.epochs
+            )
+
+        transports: Dict[int, object] = {}
+        for pid in self.tree.nodes:
+            if self._hub is not None:
+                transport = LoopbackTransport(
+                    pid, self._hub, self.clock, codec_factory=self._codec_factory
+                )
+            else:
+                transport = TcpTransport(
+                    pid,
+                    self.clock,
+                    host=self.spec.host,
+                    codec_factory=self._codec_factory,
+                )
+            transports[pid] = transport
+            self.runtimes[pid] = NodeRuntime(
+                pid,
+                transport,
+                self.clock,
+                parent=self.tree.parent_of(pid),
+                children=self.tree.children(pid),
+                level=self.tree.level(pid),
+                heartbeat=self.spec.heartbeat,
+                coordinator=self.coordinator,
+                on_detection=self._on_detection,
+            )
+            self.roles[pid] = self.runtimes[pid].role
+
+        for transport in transports.values():
+            await transport.start()
+        if self._hub is None:
+            addresses = {pid: t.address for pid, t in transports.items()}
+            for transport in transports.values():
+                transport.set_peers(addresses)
+
+        for runtime in self.runtimes.values():
+            runtime.activate()
+        self._schedule_offers()
+        if self.spec.admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._handle_admin, host=self.spec.host, port=self.spec.admin_port
+            )
+        self.clock.emit("cluster_started", nodes=self.tree.n)
+
+    def _schedule_offers(self) -> None:
+        """Replay each node's interval stream in order, offers paced by
+        ``interval_spacing`` from ``start_delay`` on."""
+        for pid, stream in sorted(self.script.streams.items()):
+            for j, interval in enumerate(stream):
+                at = self.spec.start_delay + j * self.spec.interval_spacing
+                self._offer_handles.append(
+                    self.clock.schedule_at(
+                        at,
+                        lambda p=pid, iv=interval: self.runtimes[p].offer_local(iv),
+                    )
+                )
+
+    def _on_detection(self, record: DetectionRecord) -> None:
+        self.detections.append(record)
+
+    async def run(
+        self,
+        *,
+        duration: Optional[float] = None,
+        until_detections: Optional[int] = None,
+        timeout: float = 60.0,
+        poll: float = 0.01,
+    ) -> None:
+        """Let the cluster run: for a fixed wall duration, and/or until
+        a detection count is reached (bounded by *timeout*)."""
+        start = self.clock.now
+        if duration is not None:
+            await asyncio.sleep(duration)
+        if until_detections is not None:
+            while len(self.detections) < until_detections:
+                if self.clock.now - start > timeout:
+                    raise TimeoutError(
+                        f"cluster reached {len(self.detections)} detections "
+                        f"(< {until_detections}) within {timeout}s"
+                    )
+                await asyncio.sleep(poll)
+
+    def kill_node(self, pid: int) -> None:
+        """Crash-stop *pid* right now (sockets close a beat later)."""
+        runtime = self.runtimes[pid]
+        if not runtime.alive:
+            return
+        runtime.kill()
+        asyncio.get_running_loop().create_task(runtime.transport.stop())
+
+    def _disconnect(self, failed: int) -> None:
+        """Post-repair: survivors forget the dead peer's address."""
+        for pid, runtime in self.runtimes.items():
+            if pid != failed and runtime.alive:
+                runtime.transport.drop_peer(failed)
+
+    async def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for handle in self._offer_handles:
+            handle.cancel()
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
+            self._admin_server = None
+        for runtime in self.runtimes.values():
+            await runtime.shutdown()
+        self.clock.emit("cluster_stopped", detections=len(self.detections))
+
+    # ------------------------------------------------------------------
+    # introspection / admin
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        return {
+            "nodes": self.tree.n,
+            "alive": [pid for pid in self.tree.nodes if self.is_alive(pid)],
+            "detections": len(self.detections),
+            "repairs": sorted(self.coordinator.plans),
+            "false_suspicions": len(self.log.of_kind("false_suspicion")),
+            "uptime": round(self.clock.now, 3),
+        }
+
+    async def _handle_admin(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                request = None
+                try:
+                    request = json.loads(line)
+                    response = self._admin_dispatch(request)
+                except Exception as exc:  # noqa: BLE001 — report, don't die
+                    response = {"ok": False, "error": repr(exc)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if isinstance(request, dict) and request.get("cmd") == "stop":
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    def _admin_dispatch(self, request: dict) -> dict:
+        cmd = request.get("cmd")
+        if cmd == "status":
+            return {"ok": True, **self.status()}
+        if cmd == "kill-node":
+            pid = int(request["node"])
+            if pid not in self.runtimes:
+                return {"ok": False, "error": f"no node {pid}"}
+            self.kill_node(pid)
+            return {"ok": True, "killed": pid}
+        if cmd == "stop":
+            asyncio.get_running_loop().create_task(self.stop())
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown cmd {cmd!r}"}

@@ -1,0 +1,205 @@
+"""The wire protocol: length-prefixed JSON frames with per-channel
+timestamp compression.
+
+Frame layout (one frame per control message)::
+
+    +-------------------+----------------------------------------+
+    | 4 bytes, big-end. | UTF-8 JSON body, ``length`` bytes      |
+    | unsigned length   | (repro.sim.serialize.message_to_dict)  |
+    +-------------------+----------------------------------------+
+
+Bodies are the stable JSON forms of the :mod:`repro.sim.messages`
+dataclasses.  Frames whose ``type`` starts with ``__`` are *meta*
+frames (connection handshake etc.) and stay plain dicts — the transport
+consumes them before messages reach a role.
+
+Timestamp compression
+---------------------
+``IntervalReport`` bodies dominate wire volume, and their cost is the
+two length-``n`` vector timestamps — the O(n) factor of the paper's
+Section IV accounting.  A codec instance therefore carries per-channel
+reference state: for each of ``lo``/``hi`` it remembers the previous
+timestamp sent (or received) on this channel and lets
+:func:`repro.clocks.encoding.best_encoding` pick the cheapest of
+raw / sparse / differential for the next one.  The chosen scheme is
+tagged on the wire (``{"e": "sparse", "p": [[i, v], …]}``), so the
+decoder — whose reference state advances in lockstep, frame by frame —
+inverts it exactly.
+
+Because the references advance per frame, a codec pair is only coherent
+over an *ordered, gap-free* frame stream: exactly what one TCP
+connection provides.  Transports create a fresh codec per connection
+(and re-encode any retransmitted message with the new codec), so a
+reconnect can never desynchronize the references.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from collections import Counter
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..clocks.encoding import (
+    best_encoding,
+    decode_differential,
+    decode_sparse,
+    encode_differential,
+    encode_sparse,
+)
+from ..sim.serialize import message_from_dict, message_to_dict
+
+__all__ = ["FrameCodec", "HELLO_TYPE"]
+
+#: Meta-frame type sent first on every outbound connection so the
+#: receiver learns which node is talking (listeners see only an
+#: ephemeral source port otherwise).
+HELLO_TYPE = "__hello__"
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameCodec:
+    """Encoder/decoder for one direction of one connection.
+
+    Parameters
+    ----------
+    include_parts:
+        Ship aggregation provenance (``parts``) inside interval bodies.
+        ``True`` (default) makes the socket runtime deliver exactly what
+        the simulator's in-memory channels deliver — root alarms can
+        unfold solutions down to concrete intervals and the span tracer
+        parents alarms over reports.  ``False`` is the paper-faithful
+        lean wire (bounds only; see ``payload_entries``).
+    compress:
+        Apply per-channel timestamp compression to ``IntervalReport``
+        bounds.  Both ends of a channel must agree (transports build
+        both codecs from one factory).
+    max_frame:
+        Hard bound on body size; oversized frames fail loudly on encode
+        and poison the stream on decode (the transport drops the
+        connection).
+    """
+
+    def __init__(
+        self,
+        *,
+        include_parts: bool = True,
+        compress: bool = True,
+        max_frame: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.include_parts = include_parts
+        self.compress = compress
+        self.max_frame = max_frame
+        #: chosen-scheme counts (encoder side), for tests and benches
+        self.encodings: Counter = Counter()
+        self._enc_ref: List[Optional[np.ndarray]] = [None, None]  # lo, hi
+        self._dec_ref: List[Optional[np.ndarray]] = [None, None]
+        self._buffer = bytearray()
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def encode(self, message: Union[object, dict]) -> bytes:
+        """One message (or meta dict) -> one framed byte string."""
+        if isinstance(message, dict):
+            if not str(message.get("type", "")).startswith("__"):
+                raise ValueError("dict frames are reserved for __meta__ types")
+            data = message
+        else:
+            data = message_to_dict(message, include_parts=self.include_parts)
+            if self.compress and data["type"] == "IntervalReport":
+                self._compress_interval(data["interval"])
+        body = json.dumps(data, separators=(",", ":")).encode("utf-8")
+        if len(body) > self.max_frame:
+            raise ValueError(
+                f"frame body of {len(body)} bytes exceeds max_frame "
+                f"({self.max_frame})"
+            )
+        return _HEADER.pack(len(body)) + body
+
+    def _compress_interval(self, data: dict) -> None:
+        """Replace the top-level ``lo``/``hi`` lists with tagged encoded
+        payloads, advancing the encoder references.  Nested ``parts``
+        stay raw: provenance is bulky but rare, and keeping the
+        reference chain tied to the head timestamps keeps both ends'
+        state trivially in lockstep."""
+        data["n"] = len(data["lo"])
+        for slot, bound in enumerate(("lo", "hi")):
+            ts = np.asarray(data[bound], dtype=np.int64)
+            reference = self._enc_ref[slot]
+            if reference is not None and reference.shape != ts.shape:
+                reference = None
+            name, _ = best_encoding(ts, reference)
+            if name == "sparse":
+                payload, _ = encode_sparse(ts)
+            elif name == "differential":
+                payload, _ = encode_differential(ts, reference)
+            else:
+                payload = data[bound]
+            self.encodings[name] += 1
+            data[bound] = {"e": name, "p": payload}
+            self._enc_ref[slot] = ts
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def feed(self, data: bytes) -> List[object]:
+        """Buffer raw socket bytes; return every message that became
+        complete (meta frames come back as plain dicts)."""
+        self._buffer.extend(data)
+        out: List[object] = []
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise ValueError(
+                    f"declared frame length {length} exceeds max_frame "
+                    f"({self.max_frame}); stream is corrupt"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            out.append(self._decode_body(body))
+        return out
+
+    def decode(self, frame: bytes) -> object:
+        """Decode exactly one complete frame (header + body)."""
+        messages = self.feed(frame)
+        if len(messages) != 1 or self._buffer:
+            raise ValueError("decode() expects exactly one complete frame")
+        return messages[0]
+
+    def _decode_body(self, body: bytes) -> object:
+        data = json.loads(body.decode("utf-8"))
+        kind = str(data.get("type", ""))
+        if kind.startswith("__"):
+            return data
+        if kind == "IntervalReport":
+            self._decompress_interval(data["interval"])
+        return message_from_dict(data)
+
+    def _decompress_interval(self, data: dict) -> None:
+        for slot, bound in enumerate(("lo", "hi")):
+            obj = data[bound]
+            if not isinstance(obj, dict):
+                continue  # uncompressed peer
+            n = int(data["n"])
+            scheme, payload = obj["e"], obj["p"]
+            if scheme == "sparse":
+                ts = decode_sparse(payload, n)
+            elif scheme == "differential":
+                ts = decode_differential(payload, self._dec_ref[slot], n)
+            else:
+                ts = np.asarray(payload, dtype=np.int64)
+            self._dec_ref[slot] = np.asarray(ts, dtype=np.int64)
+            data[bound] = [int(v) for v in ts]
+        data.pop("n", None)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,155 @@
+"""One tree node of the socket runtime.
+
+A :class:`NodeRuntime` is the network-world analogue of a
+:class:`~repro.sim.process.MonitoredProcess`, reduced to what the
+detection layer actually requires of its host: ``pid``, a ``sim``-shaped
+clock handle, and ``send_control``.  It binds an **unmodified**
+:class:`~repro.detect.HierarchicalRole` — queues, aggregation,
+heartbeats, repair hooks and all — and plugs its control plane into a
+:class:`~repro.net.transport.Transport` instead of the simulated
+network.
+
+Local intervals arrive through :meth:`offer_local` (driven by a
+workload script or a live predicate source) and get the same span +
+counter bookkeeping the simulator's process layer does, so the
+interval → report → alarm trace reads identically in both worlds.
+
+At-least-once delivery is absorbed here: after a TCP reconnect the
+transport may replay the in-flight report, and the role's
+:class:`~repro.intervals.queues.ReorderBuffer` rejects it by
+``transport_seq`` with a ``ValueError``.  That is a correct, expected
+outcome on this plane, so the runtime catches it, counts it under
+``repro_net_stale_frames_total`` and moves on — the role itself stays
+byte-identical to the simulated one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..detect.roles import DetectionRecord, HierarchicalRole
+from ..intervals import Interval
+from ..obs.spans import interval_key
+from .clock import AsyncClock
+from .transport import Transport
+
+__all__ = ["NodeRuntime"]
+
+
+class NodeRuntime:
+    """Host one :class:`HierarchicalRole` on a transport.
+
+    Parameters mirror the role's constructor; ``heartbeat`` accepts the
+    same ``(period, timeout)`` tuple / :class:`~repro.monitor.spec.HeartbeatSpec`
+    the simulator path takes, but here the periods are **wall seconds**.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        transport: Transport,
+        clock: AsyncClock,
+        *,
+        parent: Optional[int],
+        children: Sequence[int],
+        level: Optional[int] = None,
+        heartbeat=None,
+        coordinator=None,
+        on_detection: Optional[Callable[[DetectionRecord], None]] = None,
+        on_subtree_solution=None,
+    ) -> None:
+        self.pid = node_id
+        self.sim = clock  # the role-facing name for the clock handle
+        self.transport = transport
+        self.alive = True
+        self._interval_counter = clock.telemetry.registry.counter_vec(
+            "repro_intervals_total",
+            "Local intervals produced, per node.",
+            ("node",),
+        )
+        self._stale_counter = clock.telemetry.registry.counter_vec(
+            "repro_net_stale_frames_total",
+            "Redelivered (stale/duplicate) frames rejected by reorder "
+            "buffers after reconnects.",
+            ("node",),
+        )
+        self.role = HierarchicalRole(
+            parent,
+            children,
+            heartbeat=heartbeat,
+            coordinator=coordinator,
+            on_detection=on_detection,
+            on_subtree_solution=on_subtree_solution,
+            level=level,
+        )
+        self.role.bind(self)
+        transport.set_receiver(self._on_message)
+
+    # ------------------------------------------------------------------
+    # the MonitoredProcess surface the role needs
+    # ------------------------------------------------------------------
+    def send_control(self, dst: int, message: object) -> None:
+        if not self.alive:
+            return
+        self.transport.send(dst, message)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Start the role (arms heartbeats).  Call once the transport is
+        up and the peer map installed."""
+        self.role.on_start()
+
+    def kill(self) -> None:
+        """Crash-stop this node: stop producing, sending and receiving.
+        The transport is torn down separately (:meth:`shutdown`) so a
+        ``kill-node`` admin command stays synchronous."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.role.on_crash()
+        self.sim.emit("crash", node=self.pid)
+
+    async def shutdown(self) -> None:
+        """Graceful teardown: kill the node, then close its sockets."""
+        self.kill()
+        await self.transport.stop()
+
+    # ------------------------------------------------------------------
+    # local interval ingestion
+    # ------------------------------------------------------------------
+    def offer_local(self, interval: Interval, opened_at: Optional[float] = None) -> None:
+        """Feed one locally produced interval to the detector, with the
+        same span/counter bookkeeping the simulator's process layer
+        performs at interval close."""
+        if not self.alive:
+            return
+        now = self.sim.now
+        self.sim.telemetry.spans.record(
+            "interval",
+            opened_at if opened_at is not None else now,
+            now,
+            node=self.pid,
+            key=interval_key(interval),
+            owner=interval.owner,
+            seq=interval.seq,
+        )
+        self._interval_counter[self.pid] += 1
+        self.role.on_local_interval(interval)
+
+    # ------------------------------------------------------------------
+    # inbound dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, src: int, message: object) -> None:
+        if not self.alive:
+            return
+        try:
+            self.role.on_control_message(src, message)
+        except ValueError as exc:
+            # Reorder buffers reject replayed transport_seqs after a
+            # reconnect — that's the at-least-once tax, not a fault.
+            self._stale_counter[self.pid] += 1
+            self.sim.emit(
+                "net_stale_frame", node=self.pid, src=src, error=str(exc)
+            )

@@ -1,0 +1,531 @@
+"""Transports: how framed control messages move between node runtimes.
+
+Two implementations of one :class:`Transport` surface:
+
+* :class:`LoopbackTransport` — an in-process hub.  Messages still go
+  through the full encode → bytes → decode path (so codec bugs cannot
+  hide), but delivery is a ``loop.call_soon``; unit and equivalence
+  tests need no ports, no listeners, no reconnect races.
+* :class:`TcpTransport` — real sockets.  Each node runs one asyncio
+  server; each directed peer link is an outbound connection owned by a
+  writer task with a bounded outbox, capped-exponential-backoff
+  redials, and head-retransmit on connection loss (at-least-once — the
+  receiving role's :class:`~repro.intervals.queues.ReorderBuffer`
+  already rejects duplicates by ``transport_seq``, which the runtime
+  turns into a counted, non-fatal event).
+
+Backpressure is explicit: every link's outbox is bounded.  Crossing the
+high watermark flips the link to a "congested" state (gauge + event);
+hitting ``max_outbox`` drops the *newest* message and counts it under
+``repro_net_outbox_dropped_total`` — detection stays correct because
+interval reports are retried end-to-end by sequence-numbered
+retransmission at the role layer's reorder semantics, and because a
+drop here models exactly the lossy-channel case the paper's detector
+already survives.
+
+The sim :class:`~repro.sim.network.Network` registers
+``repro_net_sent_total`` etc. with different labels, so the socket
+metrics use their own distinct names (``repro_net_bytes_sent_total``,
+``repro_net_frames_total``, …) and both stacks can share one registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from .clock import AsyncClock
+from .codec import HELLO_TYPE, FrameCodec
+
+__all__ = [
+    "Transport",
+    "LoopbackHub",
+    "LoopbackTransport",
+    "TcpTransport",
+    "SEND_LATENCY_BUCKETS",
+]
+
+#: Wall-clock send-latency buckets (seconds): localhost frames land in
+#: sub-millisecond territory; the tail covers backoff-redial stalls.
+SEND_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, float("inf"),
+)
+
+Receiver = Callable[[int, object], None]
+
+#: Meta frame flowing back on an inbound connection: ``n`` is the
+#: cumulative count of message frames received on that connection.
+ACK_TYPE = "__ack__"
+
+
+class Transport(Protocol):
+    """What a :class:`~repro.net.runtime.NodeRuntime` needs from its
+    message plane."""
+
+    node_id: int
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the inbound dispatch callback ``(src, message)``."""
+
+    def send(self, dst: int, message: object) -> None:
+        """Enqueue *message* for *dst* (non-blocking, fire-and-forget)."""
+
+    async def start(self) -> None:
+        """Bring the transport up (bind listeners, join the hub)."""
+
+    async def stop(self) -> None:
+        """Tear everything down; no callbacks fire afterwards."""
+
+    async def drain(self) -> None:
+        """Wait until queued outbound traffic is flushed."""
+
+    def drop_peer(self, peer: int) -> None:
+        """Forget *peer*: discard its outbox and stop redialling it."""
+
+
+class _Instruments:
+    """The socket-plane metric family, shared by both transports."""
+
+    def __init__(self, clock: AsyncClock) -> None:
+        registry = clock.telemetry.registry
+        self.bytes_sent = registry.counter_vec(
+            "repro_net_bytes_sent_total",
+            "Socket-plane bytes written, per node.",
+            ("node",),
+        )
+        self.bytes_received = registry.counter_vec(
+            "repro_net_bytes_received_total",
+            "Socket-plane bytes read, per node.",
+            ("node",),
+        )
+        self.frames = registry.counter_vec(
+            "repro_net_frames_total",
+            "Frames moved on the socket plane.",
+            ("node", "direction", "type"),
+        )
+        self.reconnects = registry.counter_vec(
+            "repro_net_reconnects_total",
+            "Peer-link (re)connections established.",
+            ("node",),
+        )
+        self.dropped = registry.counter_vec(
+            "repro_net_outbox_dropped_total",
+            "Outbound messages dropped by the bounded outbox.",
+            ("node", "reason"),
+        )
+        self.outbox_depth = clock.telemetry.registry.gauge_vec(
+            "repro_net_outbox_depth",
+            "Messages waiting in a peer link's outbox.",
+            ("node", "peer"),
+        )
+        self.send_latency = registry.histogram(
+            "repro_net_send_latency_seconds",
+            "Wall seconds from enqueue to successful socket write.",
+            SEND_LATENCY_BUCKETS,
+        )
+
+    def sent(self, node: int, message: object, nbytes: int) -> None:
+        self.bytes_sent[node] += nbytes
+        self.frames[(node, "out", type(message).__name__)] += 1
+
+    def received(self, node: int, message: object, nbytes: int = 0) -> None:
+        if nbytes:
+            self.bytes_received[node] += nbytes
+        self.frames[(node, "in", type(message).__name__)] += 1
+
+
+# ----------------------------------------------------------------------
+# loopback
+# ----------------------------------------------------------------------
+class LoopbackHub:
+    """The shared "wire" of an in-process cluster: a registry of
+    transports plus same-loop delivery."""
+
+    def __init__(self) -> None:
+        self.transports: Dict[int, "LoopbackTransport"] = {}
+
+    def attach(self, transport: "LoopbackTransport") -> None:
+        self.transports[transport.node_id] = transport
+
+    def detach(self, node_id: int) -> None:
+        self.transports.pop(node_id, None)
+
+
+class LoopbackTransport:
+    """In-process transport: full codec path, zero sockets.
+
+    Each directed pair keeps its own encoder/decoder codec (mirroring
+    one TCP connection per direction), so differential-timestamp
+    references behave exactly as they would on the wire.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        hub: LoopbackHub,
+        clock: AsyncClock,
+        *,
+        codec_factory: Callable[[], FrameCodec] = FrameCodec,
+    ) -> None:
+        self.node_id = node_id
+        self.hub = hub
+        self.clock = clock
+        self.codec_factory = codec_factory
+        self.instruments = _Instruments(clock)
+        self.receiver: Optional[Receiver] = None
+        self._encoders: Dict[int, FrameCodec] = {}
+        self._decoders: Dict[int, FrameCodec] = {}
+        self._running = False
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    async def start(self) -> None:
+        self.hub.attach(self)
+        self._running = True
+
+    async def stop(self) -> None:
+        self._running = False
+        self.hub.detach(self.node_id)
+
+    async def drain(self) -> None:
+        # call_soon delivery: yielding to the loop once flushes
+        # everything already sent.
+        await asyncio.sleep(0)
+
+    def drop_peer(self, peer: int) -> None:
+        self._encoders.pop(peer, None)
+        self._decoders.pop(peer, None)
+
+    def send(self, dst: int, message: object) -> None:
+        if not self._running:
+            return
+        peer = self.hub.transports.get(dst)
+        if peer is None or not peer._running:
+            self.instruments.dropped[(self.node_id, "peer-down")] += 1
+            return
+        codec = self._encoders.get(dst)
+        if codec is None:
+            codec = self._encoders[dst] = self.codec_factory()
+        frame = codec.encode(message)
+        self.instruments.sent(self.node_id, message, len(frame))
+        loop = asyncio.get_running_loop()
+        loop.call_soon(peer._deliver, self.node_id, frame)
+
+    def _deliver(self, src: int, frame: bytes) -> None:
+        if not self._running or self.receiver is None:
+            return
+        codec = self._decoders.get(src)
+        if codec is None:
+            codec = self._decoders[src] = self.codec_factory()
+        for message in codec.feed(frame):
+            self.instruments.received(self.node_id, message, len(frame))
+            self.receiver(src, message)
+
+
+# ----------------------------------------------------------------------
+# tcp
+# ----------------------------------------------------------------------
+class _PeerLink:
+    """One directed outbound connection: bounded outbox + writer task.
+
+    The writer dials with capped exponential backoff (jittered from the
+    owning node's deterministic rng stream), sends a hello meta-frame,
+    then drains the outbox.  Messages are *encoded at write time* with
+    the connection's fresh codec and removed from the outbox only when
+    the receiver's cumulative ack covers them — a TCP write can succeed
+    into the kernel buffer of an already-dead connection, so
+    pop-on-write would silently lose the frame.  Everything unacked when
+    a connection dies is re-encoded and retransmitted on the next one
+    (at-least-once; the receiver's reorder buffer drops duplicates by
+    ``transport_seq``).
+    """
+
+    def __init__(self, owner: "TcpTransport", peer: int, address: Tuple[str, int]):
+        self.owner = owner
+        self.peer = peer
+        self.address = address
+        self.pending: List[Tuple[float, object]] = []
+        self.wake = asyncio.Event()
+        self.congested = False
+        self.task: Optional[asyncio.Task] = None
+        self.closing = False
+        # Per-connection state: pending[:_sent] is written-but-unacked.
+        self._sent = 0
+        self._acked = 0
+
+    # -- queueing ------------------------------------------------------
+    def enqueue(self, message: object) -> None:
+        owner = self.owner
+        if len(self.pending) >= owner.max_outbox:
+            owner.instruments.dropped[(owner.node_id, "outbox-full")] += 1
+            return
+        self.pending.append((owner.clock.now, message))
+        depth = len(self.pending)
+        owner.instruments.outbox_depth[(owner.node_id, self.peer)] = depth
+        if depth >= owner.high_water and not self.congested:
+            self.congested = True
+            owner.clock.emit(
+                "net_congested", node=owner.node_id, peer=self.peer, depth=depth
+            )
+        self.wake.set()
+
+    def _after_pop(self) -> None:
+        owner = self.owner
+        depth = len(self.pending)
+        owner.instruments.outbox_depth[(owner.node_id, self.peer)] = depth
+        if self.congested and depth <= owner.low_water:
+            self.congested = False
+            owner.clock.emit("net_uncongested", node=owner.node_id, peer=self.peer)
+
+    # -- writer task ---------------------------------------------------
+    async def run(self) -> None:
+        owner = self.owner
+        backoff = owner.backoff_base
+        rng = owner.clock.rng(f"net-backoff-{owner.node_id}")
+        while not self.closing:
+            try:
+                reader, writer = await asyncio.open_connection(*self.address)
+            except OSError:
+                await asyncio.sleep(backoff * (1.0 + float(rng.random())))
+                backoff = min(backoff * 2.0, owner.backoff_cap)
+                continue
+            backoff = owner.backoff_base
+            owner.instruments.reconnects[owner.node_id] += 1
+            codec = owner.codec_factory()
+            self._sent = 0
+            self._acked = 0
+            pump = ack_loop = None
+            try:
+                writer.write(codec.encode({"type": HELLO_TYPE, "node": owner.node_id}))
+                await writer.drain()
+                # The pump writes, the ack loop confirms (and doubles as
+                # the connection-death detector via read EOF).  Either
+                # one finishing means this connection is over.
+                pump = asyncio.ensure_future(self._pump(writer, codec))
+                ack_loop = asyncio.ensure_future(self._read_acks(reader))
+                await asyncio.wait(
+                    {pump, ack_loop}, return_when=asyncio.FIRST_COMPLETED
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                for task in (pump, ack_loop):
+                    if task is not None:
+                        task.cancel()
+                await asyncio.gather(
+                    *(t for t in (pump, ack_loop) if t is not None),
+                    return_exceptions=True,
+                )
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    pass
+            if not self.closing:
+                owner.clock.emit(
+                    "net_connection_lost", node=owner.node_id, peer=self.peer
+                )
+
+    async def _pump(self, writer: asyncio.StreamWriter, codec: FrameCodec) -> None:
+        owner = self.owner
+        while not self.closing:
+            if self._sent >= len(self.pending):
+                self.wake.clear()
+                if self._sent < len(self.pending):
+                    continue
+                await self.wake.wait()
+                continue
+            _, message = self.pending[self._sent]
+            frame = codec.encode(message)
+            writer.write(frame)
+            await writer.drain()
+            self._sent += 1
+            owner.instruments.sent(owner.node_id, message, len(frame))
+
+    async def _read_acks(self, reader: asyncio.StreamReader) -> None:
+        owner = self.owner
+        codec = owner.codec_factory()
+        while not self.closing:
+            data = await reader.read(65536)
+            if not data:
+                return  # EOF: the peer (or its listener) went away
+            for meta in codec.feed(data):
+                if not (isinstance(meta, dict) and meta.get("type") == ACK_TYPE):
+                    continue
+                target = int(meta["n"])
+                while self._acked < target and self._sent > 0 and self.pending:
+                    enqueued_at, _ = self.pending.pop(0)
+                    self._acked += 1
+                    self._sent -= 1
+                    owner.instruments.send_latency.observe(
+                        owner.clock.now - enqueued_at
+                    )
+                    self._after_pop()
+
+    def close(self) -> None:
+        self.closing = True
+        self.wake.set()
+        if self.task is not None:
+            self.task.cancel()
+
+
+class TcpTransport:
+    """Real-socket transport: one listener per node, one outbound link
+    per peer.
+
+    Startup is two-phase so a cluster can bind every listener on an
+    ephemeral port first (``await start()``; read ``.address``) and
+    wire the peer map afterwards (:meth:`set_peers`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        clock: AsyncClock,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec_factory: Callable[[], FrameCodec] = FrameCodec,
+        max_outbox: int = 4096,
+        high_water: int = 1024,
+        low_water: int = 256,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if not 0 < low_water <= high_water <= max_outbox:
+            raise ValueError(
+                "watermarks must satisfy 0 < low_water <= high_water <= max_outbox"
+            )
+        self.node_id = node_id
+        self.clock = clock
+        self.host = host
+        self.port = port
+        self.codec_factory = codec_factory
+        self.max_outbox = max_outbox
+        self.high_water = high_water
+        self.low_water = low_water
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.instruments = _Instruments(clock)
+        self.receiver: Optional[Receiver] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._links: Dict[int, _PeerLink] = {}
+        self._inbound: List[asyncio.Task] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def set_receiver(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound listen address (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("transport not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_inbound, host=self.host, port=self.port
+        )
+        self._running = True
+
+    def set_peers(self, addresses: Dict[int, Tuple[str, int]]) -> None:
+        """Install the peer map and start one writer task per peer."""
+        loop = asyncio.get_running_loop()
+        for peer, address in sorted(addresses.items()):
+            if peer == self.node_id or peer in self._links:
+                continue
+            link = _PeerLink(self, peer, address)
+            link.task = loop.create_task(link.run())
+            self._links[peer] = link
+
+    async def stop(self) -> None:
+        self._running = False
+        for link in self._links.values():
+            link.close()
+        tasks = [link.task for link in self._links.values() if link.task]
+        self._links.clear()
+        for task in self._inbound:
+            task.cancel()
+        await asyncio.gather(*tasks, *self._inbound, return_exceptions=True)
+        self._inbound.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def drain(self, *, poll: float = 0.005) -> None:
+        while any(link.pending for link in self._links.values()):
+            await asyncio.sleep(poll)
+
+    def drop_peer(self, peer: int) -> None:
+        link = self._links.pop(peer, None)
+        if link is not None:
+            link.close()
+
+    # ------------------------------------------------------------------
+    def send(self, dst: int, message: object) -> None:
+        if not self._running:
+            return
+        link = self._links.get(dst)
+        if link is None:
+            self.instruments.dropped[(self.node_id, "no-route")] += 1
+            return
+        link.enqueue(message)
+
+    # ------------------------------------------------------------------
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound.append(task)
+        codec = self.codec_factory()
+        ack_codec = self.codec_factory()
+        src: Optional[int] = None
+        received = 0  # message frames on this connection, acked cumulatively
+        try:
+            while self._running:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                self.instruments.bytes_received[self.node_id] += len(chunk)
+                for message in codec.feed(chunk):
+                    if isinstance(message, dict):
+                        if message.get("type") == HELLO_TYPE:
+                            src = int(message["node"])
+                        continue
+                    if src is None:
+                        # Peer skipped the handshake; nothing sane to do.
+                        self.clock.emit("net_anonymous_frame", node=self.node_id)
+                        continue
+                    received += 1
+                    self.instruments.received(self.node_id, message)
+                    if self.receiver is not None:
+                        try:
+                            self.receiver(src, message)
+                        except Exception as exc:  # noqa: BLE001 — keep the link up
+                            self.clock.emit(
+                                "net_receiver_error",
+                                node=self.node_id,
+                                src=src,
+                                error=repr(exc),
+                            )
+                if received:
+                    writer.write(ack_codec.encode({"type": ACK_TYPE, "n": received}))
+                    await writer.drain()
+        except (ConnectionError, OSError, ValueError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            if task is not None and task in self._inbound:
+                self._inbound.remove(task)

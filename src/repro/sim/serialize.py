@@ -44,6 +44,8 @@ __all__ = [
     "detection_from_dict",
     "detections_to_dicts",
     "detections_from_dicts",
+    "message_to_dict",
+    "message_from_dict",
 ]
 
 _SCHEMA_VERSION = 1
@@ -192,6 +194,107 @@ def detections_to_dicts(records) -> List[dict]:
 
 def detections_from_dicts(data) -> list:
     return [detection_from_dict(entry) for entry in data]
+
+
+# ----------------------------------------------------------------------
+# control/application-plane messages
+# ----------------------------------------------------------------------
+def message_to_dict(message, *, include_parts: bool = True) -> dict:
+    """JSON-ready form of any :mod:`repro.sim.messages` dataclass.
+
+    Every message type round-trips exactly through
+    :func:`message_from_dict`; this is the payload layer of the
+    :class:`repro.net.FrameCodec` wire protocol, so the ``type`` tag is
+    part of the stable schema.  ``include_parts=False`` strips
+    aggregation provenance from interval payloads (the paper's wire
+    model ships bounds only; see ``payload_entries``).
+    """
+    from .messages import (
+        AppMessage,
+        AttachAccept,
+        AttachRequest,
+        DetachNotice,
+        Heartbeat,
+        IntervalReport,
+    )
+
+    if isinstance(message, AppMessage):
+        return {
+            "type": "AppMessage",
+            "payload": message.payload,
+            "piggyback": message.piggyback.tolist(),
+        }
+    if isinstance(message, IntervalReport):
+        interval = message.interval
+        if not include_parts and interval.parts:
+            from ..intervals import Interval
+
+            interval = Interval(
+                owner=interval.owner,
+                seq=interval.seq,
+                lo=interval.lo,
+                hi=interval.hi,
+                members=interval.members,
+            )
+        return {
+            "type": "IntervalReport",
+            "origin": message.origin,
+            "dest": message.dest,
+            "transport_seq": message.transport_seq,
+            "interval": interval_to_dict(interval),
+        }
+    if isinstance(message, Heartbeat):
+        return {"type": "Heartbeat", "sender": message.sender}
+    if isinstance(message, AttachRequest):
+        return {
+            "type": "AttachRequest",
+            "child": message.child,
+            "subtree": sorted(int(m) for m in message.subtree),
+        }
+    if isinstance(message, AttachAccept):
+        return {"type": "AttachAccept", "parent": message.parent}
+    if isinstance(message, DetachNotice):
+        return {"type": "DetachNotice", "child": message.child}
+    raise TypeError(f"unserializable message type {type(message).__name__}")
+
+
+def message_from_dict(data: dict):
+    import numpy as np
+
+    from .messages import (
+        AppMessage,
+        AttachAccept,
+        AttachRequest,
+        DetachNotice,
+        Heartbeat,
+        IntervalReport,
+    )
+
+    kind = data.get("type")
+    if kind == "AppMessage":
+        return AppMessage(
+            payload=data["payload"],
+            piggyback=np.array(data["piggyback"], dtype=np.int64),
+        )
+    if kind == "IntervalReport":
+        return IntervalReport(
+            origin=int(data["origin"]),
+            dest=int(data["dest"]),
+            interval=interval_from_dict(data["interval"]),
+            transport_seq=int(data["transport_seq"]),
+        )
+    if kind == "Heartbeat":
+        return Heartbeat(sender=int(data["sender"]))
+    if kind == "AttachRequest":
+        return AttachRequest(
+            child=int(data["child"]),
+            subtree=frozenset(int(m) for m in data["subtree"]),
+        )
+    if kind == "AttachAccept":
+        return AttachAccept(parent=int(data["parent"]))
+    if kind == "DetachNotice":
+        return DetachNotice(child=int(data["child"]))
+    raise ValueError(f"unknown message type tag {kind!r}")
 
 
 def save_trace(trace: ExecutionTrace, path: Union[str, Path]) -> None:

@@ -97,3 +97,84 @@ class TestBestEncoding:
     def test_never_worse_than_raw(self, ts):
         _, entries = best_encoding(ts, None)
         assert entries <= len(ts)
+
+
+def _decode(name, ts, ref):
+    """Encode *ts* with the scheme best_encoding picked, then invert it —
+    the exact round trip the repro.net frame codec performs per frame."""
+    if name == "sparse":
+        payload, _ = encode_sparse(ts)
+        return decode_sparse(payload, len(ts))
+    if name == "differential":
+        payload, _ = encode_differential(ts, ref)
+        return decode_differential(payload, ref, len(ts))
+    return np.array(ts, dtype=np.int64)
+
+
+#: Adversarial component values: zeros, tiny counts, and deltas near the
+#: int64 edge (vector clocks never get there, but the codec must not
+#: corrupt them if they did).
+adversarial_components = st.one_of(
+    st.just(0),
+    st.integers(0, 3),
+    st.integers(2**40, 2**62),
+)
+adversarial_vectors = st.lists(
+    adversarial_components, min_size=1, max_size=24
+).map(freeze)
+
+
+class TestAdversarialRoundTrip:
+    @settings(max_examples=200)
+    @given(adversarial_vectors)
+    def test_best_encoding_inverts_without_reference(self, ts):
+        name, entries = best_encoding(ts, None)
+        assert entries <= len(ts)
+        assert _decode(name, ts, None).tolist() == ts.tolist()
+
+    @settings(max_examples=200)
+    @given(adversarial_vectors, st.data())
+    def test_best_encoding_inverts_against_reference(self, ref, data):
+        bumps = data.draw(
+            st.lists(
+                st.one_of(st.just(0), st.integers(0, 2), st.integers(2**30, 2**40)),
+                min_size=len(ref),
+                max_size=len(ref),
+            )
+        )
+        ts = freeze(np.asarray(ref, dtype=np.int64) + np.asarray(bumps, dtype=np.int64))
+        name, entries = best_encoding(ts, ref)
+        assert entries <= len(ts)
+        assert _decode(name, ts, ref).tolist() == ts.tolist()
+
+    def test_all_zero_vector(self):
+        ts = freeze([0] * 12)
+        name, entries = best_encoding(ts, None)
+        assert _decode(name, ts, None).tolist() == ts.tolist()
+        assert entries == 1  # the empty sparse payload
+
+    def test_single_entry_vector(self):
+        ts = freeze([41])
+        for ref in (None, freeze([40]), freeze([0])):
+            name, _ = best_encoding(ts, ref)
+            assert _decode(name, ts, ref).tolist() == [41]
+
+    def test_large_delta_against_stale_reference(self):
+        ref = freeze([1, 1, 1, 1])
+        ts = freeze([1, 2**62, 1, 1])
+        name, _ = best_encoding(ts, ref)
+        assert _decode(name, ts, ref).tolist() == ts.tolist()
+
+    @settings(max_examples=100)
+    @given(adversarial_vectors)
+    def test_chained_references_stay_consistent(self, ts):
+        # Simulate the codec's per-channel reference chain: each frame's
+        # timestamp becomes the next frame's reference.
+        ref = None
+        clock = np.array(ts, dtype=np.int64)
+        for step in range(4):
+            name, _ = best_encoding(freeze(clock), ref)
+            decoded = _decode(name, freeze(clock), ref)
+            assert decoded.tolist() == clock.tolist()
+            ref = freeze(decoded)
+            clock = clock + (step % 2)  # alternate no-change / bump-all

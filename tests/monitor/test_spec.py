@@ -53,3 +53,76 @@ class TestBuilders:
         phi = ConjunctivePredicate.uniform(range(2), lambda v: True)
         with pytest.raises(KeyError):
             phi.evaluate(5, {})
+
+
+class TestHeartbeatSpec:
+    def test_defaults_reproduce_historical_tuple(self):
+        from repro.monitor import HeartbeatSpec
+
+        spec = HeartbeatSpec()
+        assert spec.as_tuple() == (5.0, 16.0)
+
+    def test_explicit_timeout_wins(self):
+        from repro.monitor import HeartbeatSpec
+
+        spec = HeartbeatSpec(period=1.0, timeout=4.5)
+        assert spec.resolved_timeout == 4.5
+        assert spec.as_tuple() == (1.0, 4.5)
+
+    def test_loss_tolerance_scales_timeout(self):
+        from repro.monitor import HeartbeatSpec
+
+        spec = HeartbeatSpec(period=0.5, loss_tolerance=7)
+        assert spec.resolved_timeout == pytest.approx(0.5 * 7.2)
+
+    def test_timeout_not_exceeding_period_rejected(self):
+        from repro.monitor import HeartbeatSpec
+
+        with pytest.raises(ValueError, match="must exceed"):
+            HeartbeatSpec(period=5.0, timeout=5.0)
+        with pytest.raises(ValueError, match="must exceed"):
+            HeartbeatSpec(period=5.0, timeout=2.0)
+
+    def test_nonsense_values_rejected(self):
+        from repro.monitor import HeartbeatSpec
+
+        with pytest.raises(ValueError, match="positive"):
+            HeartbeatSpec(period=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            HeartbeatSpec(period=-1.0)
+        with pytest.raises(ValueError, match="finite"):
+            HeartbeatSpec(period=float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            HeartbeatSpec(period=1.0, timeout=float("nan"))
+        with pytest.raises(ValueError, match="loss_tolerance"):
+            HeartbeatSpec(loss_tolerance=0)
+        with pytest.raises(ValueError, match="loss_tolerance"):
+            HeartbeatSpec(loss_tolerance=2.5)
+
+    def test_coerce_normalizes_every_accepted_form(self):
+        from repro.monitor import HeartbeatSpec
+
+        assert HeartbeatSpec.coerce(None) is None
+        assert HeartbeatSpec.coerce((2.0, 7.0)) == (2.0, 7.0)
+        assert HeartbeatSpec.coerce(HeartbeatSpec(period=1.0)) == (1.0, pytest.approx(3.2))
+        with pytest.raises(ValueError):
+            HeartbeatSpec.coerce((5.0, 1.0))  # tuples are validated too
+
+    def test_monitor_accepts_spec_and_rejects_bad_tuple(self):
+        import networkx as nx
+
+        from repro.monitor import (
+            ConjunctivePredicate,
+            DistributedMonitor,
+            HeartbeatSpec,
+        )
+
+        graph = nx.path_graph(3)
+        phi = ConjunctivePredicate.uniform(range(3), lambda v: v.get("x") == 1)
+        monitor = DistributedMonitor(
+            graph, phi, heartbeat=HeartbeatSpec(period=2.0, loss_tolerance=4)
+        )
+        role = monitor.roles[0]
+        assert role._heartbeat_cfg == (2.0, pytest.approx(8.4))
+        with pytest.raises(ValueError, match="must exceed"):
+            DistributedMonitor(graph, phi, heartbeat=(5.0, 3.0))

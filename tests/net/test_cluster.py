@@ -1,0 +1,172 @@
+"""Integration tests: the socket runtime against the simulator.
+
+The headline claims of the ``repro.net`` subsystem:
+
+* replaying a simulator workload's interval streams through a live
+  cluster yields the *identical ordered solution set* (the detection
+  core is confluent over per-source-ordered interleavings, so any
+  divergence would be a networking bug);
+* killing a node mid-run triggers real heartbeat-driven repair, and
+  detection continues over the survivors (the paper's fault-tolerance
+  property, on actual transports).
+
+Loopback transports keep these tests free of port races; the TCP path
+gets one smaller end-to-end case here and the full 7-node treatment in
+CI's ``net-smoke`` job.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.monitor import HeartbeatSpec
+from repro.net import (
+    ClusterSpec,
+    LocalCluster,
+    simulation_script,
+    solution_signatures,
+)
+
+
+def run(coro, timeout=90):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+def _spec(**overrides) -> ClusterSpec:
+    base = dict(
+        nodes=7,
+        degree=2,
+        seed=1,
+        transport="loopback",
+        interval_spacing=0.005,
+        start_delay=0.05,
+        repair_latency=0.02,
+        heartbeat=HeartbeatSpec(period=0.05, loss_tolerance=5),
+    )
+    base.update(overrides)
+    return ClusterSpec(**base)
+
+
+class TestEquivalence:
+    def test_socket_solutions_identical_to_simulator(self):
+        spec = _spec()
+        script = simulation_script(spec.tree(), seed=spec.seed, epochs=spec.epochs)
+        assert script.reference, "reference run produced no detections"
+
+        async def scenario():
+            cluster = LocalCluster(spec, script=script)
+            await cluster.start()
+            await cluster.run(
+                until_detections=len(script.reference), timeout=60
+            )
+            # Grace period: fail loudly if the network over-detects.
+            await asyncio.sleep(0.2)
+            await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        assert solution_signatures(cluster.detections) == solution_signatures(
+            script.reference
+        )
+
+    def test_other_seed_and_shape_also_match(self):
+        spec = _spec(nodes=10, degree=3, seed=42, epochs=3)
+        script = simulation_script(spec.tree(), seed=spec.seed, epochs=spec.epochs)
+        assert script.reference
+
+        async def scenario():
+            cluster = LocalCluster(spec, script=script)
+            await cluster.start()
+            await cluster.run(until_detections=len(script.reference), timeout=60)
+            await asyncio.sleep(0.2)
+            await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        assert solution_signatures(cluster.detections) == solution_signatures(
+            script.reference
+        )
+
+
+class TestKill:
+    def test_leaf_kill_repairs_and_detection_continues(self):
+        spec = _spec(epochs=8)
+        victim = 5  # a leaf of the 7-node binary tree
+
+        async def scenario():
+            cluster = LocalCluster(spec)
+            await cluster.start()
+            await cluster.run(until_detections=1, timeout=60)
+            before = len(cluster.detections)
+            cluster.kill_node(victim)
+
+            deadline = cluster.clock.now + 60
+            while victim not in cluster.coordinator.plans:
+                assert cluster.clock.now < deadline, "no repair planned"
+                await asyncio.sleep(0.01)
+            while not any(
+                victim not in d.members for d in cluster.detections[before:]
+            ):
+                assert cluster.clock.now < deadline, "no post-kill detection"
+                await asyncio.sleep(0.01)
+            await cluster.stop()
+            return cluster, before
+
+        cluster, before = run(scenario(), timeout=120)
+        # Pre-kill solutions span everyone; post-kill ones exclude the
+        # victim — partial-predicate detection survived the crash.
+        assert any(victim in d.members for d in cluster.detections[:before])
+        fresh = [d for d in cluster.detections[before:] if victim not in d.members]
+        assert fresh
+        assert all(d.members <= frozenset({0, 1, 2, 3, 4, 6}) for d in fresh)
+        assert cluster.coordinator.plans[victim].failed == victim
+
+    def test_status_reflects_kill(self):
+        spec = _spec()
+
+        async def scenario():
+            cluster = LocalCluster(spec)
+            await cluster.start()
+            cluster.kill_node(6)
+            await asyncio.sleep(0.05)
+            status = cluster.status()
+            await cluster.stop()
+            return status
+
+        status = run(scenario())
+        assert status["nodes"] == 7
+        assert 6 not in status["alive"]
+        assert set(status["alive"]) == {0, 1, 2, 3, 4, 5}
+
+
+class TestTcpSmall:
+    def test_three_node_tcp_cluster_detects(self):
+        spec = _spec(nodes=3, transport="tcp", epochs=2)
+        script = simulation_script(spec.tree(), seed=spec.seed, epochs=spec.epochs)
+        assert script.reference
+
+        async def scenario():
+            cluster = LocalCluster(spec, script=script)
+            await cluster.start()
+            await cluster.run(until_detections=len(script.reference), timeout=60)
+            await asyncio.sleep(0.2)
+            await cluster.stop()
+            return cluster
+
+        cluster = run(scenario(), timeout=120)
+        assert solution_signatures(cluster.detections) == solution_signatures(
+            script.reference
+        )
+        registry = cluster.telemetry.registry
+        assert sum(registry.get("repro_net_frames_total").values()) > 0
+        assert sum(registry.get("repro_net_bytes_sent_total").values()) > 0
+
+
+class TestSpecValidation:
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(degree=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(transport="carrier-pigeon")

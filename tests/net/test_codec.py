@@ -1,0 +1,145 @@
+"""Unit tests: the length-prefixed frame codec and its timestamp
+compression."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval
+from repro.net import FrameCodec
+from repro.net.codec import HELLO_TYPE
+from repro.sim.messages import (
+    AppMessage,
+    AttachAccept,
+    AttachRequest,
+    DetachNotice,
+    Heartbeat,
+    IntervalReport,
+)
+
+
+def _interval(owner=0, seq=0, lo=(1, 0, 0), hi=(3, 1, 0), **kw):
+    return Interval(
+        owner=owner,
+        seq=seq,
+        lo=np.array(lo, dtype=np.int64),
+        hi=np.array(hi, dtype=np.int64),
+        **kw,
+    )
+
+
+def _report(seq=0, ts=0, **kw):
+    return IntervalReport(
+        origin=1, dest=0, interval=_interval(owner=1, seq=seq, **kw), transport_seq=ts
+    )
+
+
+ALL_MESSAGES = [
+    AppMessage(payload="gossip", piggyback=np.array([1, 2, 3], dtype=np.int64)),
+    _report(),
+    Heartbeat(sender=4),
+    AttachRequest(child=5, subtree=frozenset({5, 6})),
+    AttachAccept(parent=2),
+    DetachNotice(child=6),
+]
+
+
+class TestFraming:
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_every_message_type_round_trips(self, message):
+        enc, dec = FrameCodec(), FrameCodec()
+        out = dec.decode(enc.encode(message))
+        assert type(out) is type(message)
+        if isinstance(message, AppMessage):
+            assert out.payload == message.payload
+            assert out.piggyback.tolist() == message.piggyback.tolist()
+        elif isinstance(message, IntervalReport):
+            assert out.interval.key() == message.interval.key()
+            assert out.transport_seq == message.transport_seq
+        else:
+            assert out == message
+
+    def test_byte_by_byte_feed_reassembles(self):
+        enc, dec = FrameCodec(), FrameCodec()
+        frames = b"".join(enc.encode(Heartbeat(sender=i)) for i in range(3))
+        got = []
+        for i in range(len(frames)):
+            got.extend(dec.feed(frames[i : i + 1]))
+        assert [m.sender for m in got] == [0, 1, 2]
+        assert dec.pending_bytes == 0
+
+    def test_meta_frames_stay_dicts(self):
+        enc, dec = FrameCodec(), FrameCodec()
+        out = dec.decode(enc.encode({"type": HELLO_TYPE, "node": 3}))
+        assert out == {"type": HELLO_TYPE, "node": 3}
+
+    def test_non_meta_dict_rejected(self):
+        with pytest.raises(ValueError):
+            FrameCodec().encode({"type": "IntervalReport"})
+
+    def test_oversized_declared_length_poisons_stream(self):
+        dec = FrameCodec(max_frame=64)
+        with pytest.raises(ValueError):
+            dec.feed(b"\x7f\xff\xff\xff" + b"x" * 8)
+
+
+class TestCompression:
+    def test_reference_chain_round_trips_a_report_sequence(self):
+        enc, dec = FrameCodec(), FrameCodec()
+        rng = np.random.default_rng(7)
+        clock = np.zeros(16, dtype=np.int64)
+        for seq in range(40):
+            clock = clock + rng.integers(0, 3, size=16)
+            report = IntervalReport(
+                origin=1,
+                dest=0,
+                interval=Interval(owner=1, seq=seq, lo=clock.copy(), hi=clock + 1),
+                transport_seq=seq,
+            )
+            out = dec.decode(enc.encode(report))
+            assert out.interval.lo.tolist() == report.interval.lo.tolist()
+            assert out.interval.hi.tolist() == report.interval.hi.tolist()
+        # Slowly advancing clocks must actually trigger the cheap schemes.
+        assert enc.encodings["differential"] + enc.encodings["sparse"] > 0
+
+    def test_compression_beats_raw_for_slow_clocks(self):
+        compressed, raw = FrameCodec(), FrameCodec(compress=False)
+        clock = np.zeros(64, dtype=np.int64)
+        small = big = 0
+        for seq in range(20):
+            clock[seq % 3] += 1
+            report = IntervalReport(
+                origin=1,
+                dest=0,
+                interval=Interval(owner=1, seq=seq, lo=clock.copy(), hi=clock.copy()),
+                transport_seq=seq,
+            )
+            small += len(compressed.encode(report))
+            big += len(raw.encode(report))
+        assert small < big
+
+    def test_parts_survive_by_default_and_strip_when_lean(self):
+        part = _interval(owner=2, seq=0)
+        aggregate = Interval(
+            owner=1,
+            seq=0,
+            lo=part.lo,
+            hi=part.hi,
+            members=frozenset({1, 2}),
+            parts=(part,),
+        )
+        report = IntervalReport(origin=1, dest=0, interval=aggregate)
+
+        fat = FrameCodec().decode(FrameCodec().encode(report))
+        assert [p.key() for p in fat.interval.parts] == [part.key()]
+
+        lean_codec = FrameCodec(include_parts=False)
+        lean = FrameCodec().decode(lean_codec.encode(report))
+        assert lean.interval.parts == ()
+        assert lean.interval.members == aggregate.members
+
+    def test_shape_change_resets_reference(self):
+        enc, dec = FrameCodec(), FrameCodec()
+        for n in (3, 5, 3):
+            report = _report(lo=[1] * n, hi=[2] * n)
+            out = dec.decode(enc.encode(report))
+            assert out.interval.lo.tolist() == [1] * n

@@ -1,0 +1,123 @@
+"""Unit tests: NodeRuntime hosting an unmodified HierarchicalRole over
+the loopback transport."""
+
+import asyncio
+
+import numpy as np
+
+from repro.intervals import Interval
+from repro.net import AsyncClock, LoopbackHub, LoopbackTransport, NodeRuntime
+from repro.sim.messages import IntervalReport
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+def _interval(owner, seq, lo, hi, n=3):
+    low = np.zeros(n, dtype=np.int64)
+    high = np.zeros(n, dtype=np.int64)
+    low[owner], high[owner] = lo, hi
+    # Give every interval full causal knowledge so any pair overlaps —
+    # the simplest workload that makes Definitely(Φ) fire.
+    low[:] = lo
+    high[:] = hi
+    return Interval(owner=owner, seq=seq, lo=low, hi=high)
+
+
+def _three_node_cluster(clock, hub, on_detection):
+    """Root 0 with leaf children 1 and 2."""
+    runtimes = {}
+    for pid, (parent, children) in {
+        0: (None, [1, 2]),
+        1: (0, []),
+        2: (0, []),
+    }.items():
+        transport = LoopbackTransport(pid, hub, clock)
+        runtimes[pid] = NodeRuntime(
+            pid,
+            transport,
+            clock,
+            parent=parent,
+            children=children,
+            level=0 if parent is None else 1,
+            on_detection=on_detection if parent is None else None,
+        )
+    return runtimes
+
+
+class TestNodeRuntime:
+    def test_detection_over_loopback(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            detections = []
+            runtimes = _three_node_cluster(clock, hub, detections.append)
+            for runtime in runtimes.values():
+                await runtime.transport.start()
+                runtime.activate()
+            for pid in (0, 1, 2):
+                runtimes[pid].offer_local(_interval(pid, 0, 1, 2))
+            for _ in range(20):
+                if detections:
+                    break
+                await asyncio.sleep(0.01)
+            for runtime in runtimes.values():
+                await runtime.shutdown()
+            return clock, detections
+
+        clock, detections = run(scenario())
+        assert len(detections) == 1
+        assert detections[0].members == frozenset({0, 1, 2})
+        # The runtime performed the process layer's span bookkeeping.
+        intervals = clock.telemetry.registry.get("repro_intervals_total")
+        assert sum(intervals.values()) == 3
+        spans = [s for s in clock.telemetry.spans.spans if s.name == "interval"]
+        assert len(spans) == 3
+
+    def test_duplicate_report_counted_not_fatal(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            detections = []
+            runtimes = _three_node_cluster(clock, hub, detections.append)
+            for runtime in runtimes.values():
+                await runtime.transport.start()
+                runtime.activate()
+            report = IntervalReport(
+                origin=1, dest=0, interval=_interval(1, 0, 1, 2), transport_seq=0
+            )
+            root = runtimes[0]
+            root._on_message(1, report)
+            root._on_message(1, report)  # at-least-once replay
+            for runtime in runtimes.values():
+                await runtime.shutdown()
+            return clock
+
+        clock = run(scenario())
+        stale = clock.telemetry.registry.get("repro_net_stale_frames_total")
+        assert stale[0] == 1
+        assert len(clock.log.of_kind("net_stale_frame")) == 1
+
+    def test_killed_runtime_ignores_everything(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            runtimes = _three_node_cluster(clock, hub, lambda r: None)
+            for runtime in runtimes.values():
+                await runtime.transport.start()
+                runtime.activate()
+            leaf = runtimes[1]
+            leaf.kill()
+            assert not leaf.alive
+            leaf.offer_local(_interval(1, 0, 1, 2))  # swallowed
+            leaf.send_control(0, "nope")  # swallowed
+            for runtime in runtimes.values():
+                await runtime.shutdown()
+            return clock
+
+        clock = run(scenario())
+        intervals = clock.telemetry.registry.get("repro_intervals_total")
+        assert not intervals or intervals[1] == 0
+        # The explicit kill is the first crash; shutdown crashes the rest.
+        assert clock.log.of_kind("crash")[0].node == 1

@@ -1,0 +1,154 @@
+"""Unit tests: loopback and TCP transports (framing, metrics,
+backpressure, reconnects)."""
+
+import asyncio
+
+import pytest
+
+from repro.net import AsyncClock, LoopbackHub, LoopbackTransport, TcpTransport
+from repro.sim.messages import Heartbeat
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+class TestLoopback:
+    def test_delivery_and_metrics(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            a = LoopbackTransport(0, hub, clock)
+            b = LoopbackTransport(1, hub, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append((src, msg)))
+            await a.start()
+            await b.start()
+            for i in range(3):
+                a.send(1, Heartbeat(sender=0))
+            await a.drain()
+            await a.stop()
+            await b.stop()
+            return clock, got
+
+        clock, got = run(scenario())
+        assert [(src, type(m).__name__) for src, m in got] == [(0, "Heartbeat")] * 3
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_frames_total")[(0, "out", "Heartbeat")] == 3
+        assert registry.get("repro_net_frames_total")[(1, "in", "Heartbeat")] == 3
+        assert registry.get("repro_net_bytes_sent_total")[0] > 0
+
+    def test_send_to_absent_peer_counts_drop(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            a = LoopbackTransport(0, hub, clock)
+            await a.start()
+            a.send(9, Heartbeat(sender=0))
+            await a.stop()
+            return clock
+
+        clock = run(scenario())
+        dropped = clock.telemetry.registry.get("repro_net_outbox_dropped_total")
+        assert dropped[(0, "peer-down")] == 1
+
+
+class TestTcp:
+    def test_two_node_exchange(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock)
+            b = TcpTransport(1, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append((src, msg)))
+            await a.start()
+            await b.start()
+            addresses = {0: a.address, 1: b.address}
+            a.set_peers(addresses)
+            b.set_peers(addresses)
+            for _ in range(5):
+                a.send(1, Heartbeat(sender=0))
+            await a.drain()
+            while len(got) < 5:
+                await asyncio.sleep(0.01)
+            await a.stop()
+            await b.stop()
+            return clock, got
+
+        clock, got = run(scenario())
+        assert [(src, m.sender) for src, m in got] == [(0, 0)] * 5
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_reconnects_total")[0] == 1
+        assert registry.get("repro_net_send_latency_seconds").count == 5
+
+    def test_reconnect_retransmits_queued_messages(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock, backoff_base=0.02)
+            b = TcpTransport(1, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            b_address = b.address
+            a.set_peers({1: b_address})
+            a.send(1, Heartbeat(sender=0))
+            while len(got) < 1:
+                await asyncio.sleep(0.01)
+
+            # Take the listener down, queue traffic, bring it back on the
+            # SAME port: the writer task must redial and flush the queue.
+            await b.stop()
+            await asyncio.sleep(0.05)
+            for _ in range(3):
+                a.send(1, Heartbeat(sender=0))
+            b2 = TcpTransport(1, clock, port=b_address[1])
+            b2.set_receiver(lambda src, msg: got.append(msg))
+            await b2.start()
+            while len(got) < 4:
+                await asyncio.sleep(0.01)
+            await a.stop()
+            await b2.stop()
+            return clock, got
+
+        clock, got = run(scenario())
+        assert len(got) == 4
+        assert clock.telemetry.registry.get("repro_net_reconnects_total")[0] >= 2
+
+    def test_outbox_hard_cap_drops_and_counts(self):
+        async def scenario():
+            clock = AsyncClock()
+            # No listener on the peer address: everything queues.
+            a = TcpTransport(
+                0, clock, max_outbox=8, high_water=4, low_water=2, backoff_base=0.5
+            )
+            await a.start()
+            a.set_peers({1: ("127.0.0.1", 1)})  # nothing listens there
+            for _ in range(20):
+                a.send(1, Heartbeat(sender=0))
+            await a.stop()
+            return clock
+
+        clock = run(scenario())
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_outbox_dropped_total")[(0, "outbox-full")] == 12
+        assert registry.get("repro_net_outbox_depth")[(0, 1)] == 8
+        assert len(clock.log.of_kind("net_congested")) == 1
+
+    def test_watermark_validation(self):
+        clock = AsyncClock()
+        with pytest.raises(ValueError):
+            TcpTransport(0, clock, max_outbox=4, high_water=8, low_water=2)
+
+    def test_unknown_destination_counts_no_route(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock)
+            await a.start()
+            a.send(5, Heartbeat(sender=0))
+            await a.stop()
+            return clock
+
+        clock = run(scenario())
+        dropped = clock.telemetry.registry.get("repro_net_outbox_dropped_total")
+        assert dropped[(0, "no-route")] == 1

@@ -152,3 +152,93 @@ class TestDetectionRoundTrip:
             _key_to_json(True)
         with pytest.raises(TypeError):
             _key_to_json(1.5)
+
+
+class TestMessageRoundTrip:
+    """Every control/app message dataclass survives the JSON wire form
+    (the payload layer of repro.net's frame codec)."""
+
+    def _interval(self, owner=1, seq=2, parts=()):
+        import numpy as np
+
+        from repro.intervals import Interval
+
+        return Interval(
+            owner=owner,
+            seq=seq,
+            lo=np.array([1, 0, 2], dtype=np.int64),
+            hi=np.array([4, 1, 2], dtype=np.int64),
+            members=frozenset({owner}),
+            parts=tuple(parts),
+        )
+
+    def _messages(self):
+        import numpy as np
+
+        from repro.sim.messages import (
+            AppMessage,
+            AttachAccept,
+            AttachRequest,
+            DetachNotice,
+            Heartbeat,
+            IntervalReport,
+        )
+
+        return [
+            AppMessage(payload={"k": [1, 2]}, piggyback=np.array([7, 0, 3], dtype=np.int64)),
+            IntervalReport(origin=1, dest=0, interval=self._interval(), transport_seq=9),
+            Heartbeat(sender=2),
+            AttachRequest(child=4, subtree=frozenset({4, 5, 6})),
+            AttachAccept(parent=1),
+            DetachNotice(child=4),
+        ]
+
+    def test_every_type_round_trips_through_json(self):
+        from repro.sim.messages import AppMessage, IntervalReport
+        from repro.sim.serialize import message_from_dict, message_to_dict
+
+        for message in self._messages():
+            data = json.loads(json.dumps(message_to_dict(message)))
+            rebuilt = message_from_dict(data)
+            assert type(rebuilt) is type(message)
+            if isinstance(message, AppMessage):
+                assert rebuilt.payload == message.payload
+                assert rebuilt.piggyback.tolist() == message.piggyback.tolist()
+            elif isinstance(message, IntervalReport):
+                assert rebuilt.interval.key() == message.interval.key()
+                assert (rebuilt.origin, rebuilt.dest, rebuilt.transport_seq) == (
+                    message.origin, message.dest, message.transport_seq,
+                )
+            else:
+                assert rebuilt == message
+
+    def test_aggregated_report_keeps_provenance(self):
+        from repro.sim.messages import IntervalReport
+        from repro.sim.serialize import message_from_dict, message_to_dict
+
+        part = self._interval(owner=2, seq=0)
+        aggregate = self._interval(owner=1, seq=3, parts=[part])
+        report = IntervalReport(origin=1, dest=0, interval=aggregate)
+        rebuilt = message_from_dict(message_to_dict(report))
+        assert [p.key() for p in rebuilt.interval.parts] == [part.key()]
+
+    def test_include_parts_false_ships_bounds_only(self):
+        from repro.sim.messages import IntervalReport
+        from repro.sim.serialize import message_from_dict, message_to_dict
+
+        part = self._interval(owner=2, seq=0)
+        aggregate = self._interval(owner=1, seq=3, parts=[part])
+        report = IntervalReport(origin=1, dest=0, interval=aggregate)
+        data = message_to_dict(report, include_parts=False)
+        assert "parts" not in data["interval"]
+        rebuilt = message_from_dict(data)
+        assert rebuilt.interval.parts == ()
+        assert rebuilt.interval.key() == aggregate.key()
+
+    def test_unknown_inputs_rejected(self):
+        from repro.sim.serialize import message_from_dict, message_to_dict
+
+        with pytest.raises(TypeError, match="unserializable"):
+            message_to_dict("not a message")
+        with pytest.raises(ValueError, match="unknown message type"):
+            message_from_dict({"type": "Gremlin"})

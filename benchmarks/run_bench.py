@@ -24,6 +24,12 @@ the vectorized ``HeadMatrix`` engine (see ``docs/performance.md``):
   plus batched vs scalar offer ingestion (``offer_batch`` must be
   byte-identical to an ``offer`` loop on both engines).
 
+``--net`` / ``--only net`` adds the socket-runtime loopback baseline
+(``BENCH_net.json``) and ``--only obs`` the observability baseline
+(``BENCH_obs.json``): telemetry on/off overhead on the core-ops
+stream plus admin-endpoint scrape + aggregator fold timings against a
+loopback cluster.
+
 Timings are best-of-``--repeats`` after a warmup run, so one-off
 scheduler noise doesn't pollute the baseline.  ``--quick`` shrinks the
 workloads for CI smoke (the JSON schema is identical).
@@ -504,6 +510,157 @@ def bench_net(args) -> dict:
 
 
 # ----------------------------------------------------------------------
+# observability overhead + cluster scrape plane
+# ----------------------------------------------------------------------
+def bench_obs(args) -> dict:
+    """The ``repro.obs`` baseline: what observability costs, and how
+    fast the cluster scrape plane folds.
+
+    * **core** — the core-ops stream driven with the real telemetry
+      wiring (a span per interval, lifecycle marks and per-node
+      counters from the core observer, mirroring
+      ``HierarchicalRole._observe_core``) vs. bare (no observer, no
+      spans).  The solution sets must be identical — telemetry must
+      never change detection behaviour.
+    * **cluster_scrape** — a loopback cluster run to completion, then
+      scraped over its real admin TCP endpoint
+      (:class:`repro.obs.ClusterScraper`) and folded
+      (:class:`repro.obs.TelemetryAggregator`), timed separately.
+    """
+    import asyncio
+
+    from repro.monitor import HeartbeatSpec
+    from repro.net import ClusterSpec, LocalCluster, simulation_script
+    from repro.obs import ClusterScraper, Telemetry, TelemetryAggregator, interval_key
+
+    k, n = args.k, args.n
+    offers = 2000 if args.quick else args.offers
+    repeats = 3 if args.quick else args.repeats
+    stream = burst_stream(args.timing_seed, k=k, n=n, offers=offers)
+
+    def drive_with_telemetry():
+        from repro.detect import RepeatedDetectionCore
+
+        telemetry = Telemetry()
+        spans = telemetry.spans
+        enqueued = telemetry.registry.counter_vec(
+            "repro_detect_enqueued_total", "", ("node",)
+        )
+        pruned = telemetry.registry.counter_vec(
+            "repro_detect_pruned_total", "", ("node", "reason")
+        )
+
+        def observer(event, key, interval):
+            span = spans.get(interval_key(interval))
+            if event == "enqueue":
+                enqueued[key] += 1
+                if span is not None:
+                    span.mark(0.0, f"enqueued@P{key}")
+            else:
+                pruned[(key, event)] += 1
+                if span is not None:
+                    span.mark(0.0, f"{event}@P{key}")
+
+        core = RepeatedDetectionCore(range(k), observer=observer)
+        solutions = []
+        t0 = time.perf_counter()
+        for key, interval in stream:
+            spans.record(
+                "interval", 0.0, 0.0, node=key, key=interval_key(interval)
+            )
+            solutions.extend(core.offer(key, interval))
+        elapsed = time.perf_counter() - t0
+        return elapsed, solutions, telemetry
+
+    # Interleave on/off timing runs (same rationale as bench_parallel).
+    _drive(stream, None, k)  # warmup
+    drive_with_telemetry()
+    off_runs, on_runs = [], []
+    for _ in range(repeats):
+        off_runs.append(_drive(stream, None, k)[1])
+        on_runs.append(drive_with_telemetry()[0])
+    _, _, off_solutions, _ = _drive(stream, None, k)
+    _, on_solutions, telemetry = drive_with_telemetry()
+    core = {
+        "telemetry_off": {
+            "best_s": min(off_runs),
+            "runs_s": off_runs,
+            "offers_per_s": offers / min(off_runs),
+        },
+        "telemetry_on": {
+            "best_s": min(on_runs),
+            "runs_s": on_runs,
+            "offers_per_s": offers / min(on_runs),
+            "spans": len(telemetry.spans.spans),
+        },
+        "overhead_pct": 100.0 * (min(on_runs) - min(off_runs)) / min(off_runs),
+    }
+    identical = _solution_signature(off_solutions) == _solution_signature(
+        on_solutions
+    )
+
+    # -- the scrape plane over a real admin endpoint -------------------
+    epochs = 2 if args.quick else 4
+    spec = ClusterSpec(
+        nodes=7,
+        degree=2,
+        seed=args.timing_seed,
+        transport="loopback",
+        interval_spacing=0.002,
+        start_delay=0.05,
+        epochs=epochs,
+        heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
+        admin_port=0,
+    )
+    script = simulation_script(spec.tree(), seed=spec.seed, epochs=epochs)
+
+    async def scrape_run():
+        cluster = LocalCluster(spec, script=script)
+        await cluster.start()
+        await cluster.run(until_detections=len(script.reference), timeout=120)
+        port = cluster._admin_server.sockets[0].getsockname()[1]
+        scraper = ClusterScraper("127.0.0.1", port)
+        scrape_runs, fold_runs = [], []
+        scrape = None
+        for _ in range(repeats + 1):  # first lap is the warmup
+            t0 = time.perf_counter()
+            scrape = await scraper.scrape()
+            scrape_runs.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            view = TelemetryAggregator().fold(scrape)
+            fold_runs.append(time.perf_counter() - t0)
+        await cluster.stop()
+        return {
+            "scrape_best_s": min(scrape_runs[1:]),
+            "fold_best_s": min(fold_runs[1:]),
+            "nodes": len(scrape.nodes),
+            "spans": len(view.spans.spans),
+            "stitched_hops": view.stitched_hops,
+            "cross_node_alarms": len(view.cross_node_alarms()),
+        }
+
+    cluster_scrape = asyncio.run(scrape_run())
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "obs",
+        "quick": args.quick,
+        "params": {
+            "k": k,
+            "n": n,
+            "offers": offers,
+            "repeats": repeats,
+            "seed": args.timing_seed,
+            "cluster_nodes": spec.nodes,
+            "cluster_epochs": epochs,
+        },
+        "core": core,
+        "cluster_scrape": cluster_scrape,
+        "identical_outcomes": identical,
+    }
+
+
+# ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
@@ -541,7 +698,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("core_ops", "hierarchy", "parallel", "net"),
+        choices=("core_ops", "hierarchy", "parallel", "net", "obs"),
         default=None,
         help="run a single benchmark instead of the default set",
     )
@@ -552,6 +709,7 @@ def main(argv=None) -> int:
         "hierarchy": ("BENCH_hierarchy.json", bench_hierarchy),
         "parallel": ("BENCH_parallel.json", bench_parallel),
         "net": ("BENCH_net.json", bench_net),
+        "obs": ("BENCH_obs.json", bench_obs),
     }
     if args.only:
         selected = [args.only]
@@ -566,10 +724,16 @@ def main(argv=None) -> int:
         path.write_text(json.dumps(payload, indent=2) + "\n")
         if "speedup" in payload:
             headline = f"speedup={payload['speedup']:.2f}x"
-        else:
+        elif "frames_per_s" in payload:
             headline = (
                 f"frames_per_s={payload['frames_per_s']:.0f} "
                 f"p50_latency={payload['detection_latency_s']['p50'] * 1e3:.1f}ms"
+            )
+        else:
+            headline = (
+                f"overhead={payload['core']['overhead_pct']:.1f}% "
+                f"scrape={payload['cluster_scrape']['scrape_best_s'] * 1e3:.1f}ms "
+                f"fold={payload['cluster_scrape']['fold_best_s'] * 1e3:.1f}ms"
             )
         if "determinism" in payload:
             ok = payload["determinism"].get("all_identical")

@@ -2,12 +2,13 @@
 alarms on every ``Definitely(Φ)`` satisfaction, crash-survivable."""
 
 from .api import DistributedMonitor, VariableProcess
-from .spec import ConjunctivePredicate, HeartbeatSpec, LocalClause
+from .spec import ConjunctivePredicate, HeartbeatSpec, LocalClause, SLOSpec
 
 __all__ = [
     "ConjunctivePredicate",
     "DistributedMonitor",
     "HeartbeatSpec",
     "LocalClause",
+    "SLOSpec",
     "VariableProcess",
 ]

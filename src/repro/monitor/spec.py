@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
-__all__ = ["LocalClause", "ConjunctivePredicate", "HeartbeatSpec"]
+__all__ = ["LocalClause", "ConjunctivePredicate", "HeartbeatSpec", "SLOSpec"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,60 @@ class HeartbeatSpec:
             return value.as_tuple()
         period, timeout = value
         return cls(period=float(period), timeout=float(timeout)).as_tuple()
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Service-level thresholds the cluster observability plane watches.
+
+    Each field is a breach threshold (``None`` disables that check):
+
+    * ``detection_latency_p99`` — wall seconds; breached when any node's
+      ``repro_detection_latency`` histogram p99 exceeds it;
+    * ``repair_duration`` — wall seconds from a repair plan to its
+      application (``repro_cluster_repair_duration_seconds``);
+    * ``outbox_depth`` — messages; breached when any peer link's
+      ``repro_net_outbox_depth`` gauge exceeds it (sustained
+      backpressure: the socket plane cannot keep up with the detector).
+
+    A breach does not stop anything — it trips the flight recorder, so
+    the window around the violation is persisted for postmortem
+    analysis (see :mod:`repro.obs.flight`).
+    """
+
+    detection_latency_p99: Optional[float] = None
+    repair_duration: Optional[float] = None
+    outbox_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("detection_latency_p99", "repair_duration"):
+            value = getattr(self, name)
+            if value is not None:
+                if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                    raise ValueError(f"{name} must be finite, got {value!r}")
+                if value <= 0:
+                    raise ValueError(f"{name} must be positive, got {value}")
+        if self.outbox_depth is not None:
+            if not isinstance(self.outbox_depth, int) or self.outbox_depth < 1:
+                raise ValueError(
+                    f"outbox_depth must be an integer >= 1, got {self.outbox_depth!r}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any threshold is configured."""
+        return any(
+            getattr(self, name) is not None
+            for name in ("detection_latency_p99", "repair_duration", "outbox_depth")
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (run summaries, flight snapshot headers)."""
+        return {
+            "detection_latency_p99": self.detection_latency_p99,
+            "repair_duration": self.repair_duration,
+            "outbox_depth": self.outbox_depth,
+        }
+
 
 #: A local clause: variables of one process -> bool.
 LocalClause = Callable[[Mapping[str, object]], bool]

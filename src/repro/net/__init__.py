@@ -24,7 +24,7 @@ length-prefixed TCP frames instead of the discrete-event simulator:
 See ``docs/networking.md`` for the architecture and wire format.
 """
 
-from .clock import AsyncClock
+from .clock import AsyncClock, ClockScope
 from .codec import FrameCodec
 from .transport import LoopbackHub, LoopbackTransport, TcpTransport, Transport
 from .runtime import NodeRuntime
@@ -33,6 +33,7 @@ from .script import simulation_script, solution_signatures
 
 __all__ = [
     "AsyncClock",
+    "ClockScope",
     "FrameCodec",
     "Transport",
     "TcpTransport",

@@ -1,6 +1,6 @@
-"""``repro-cluster`` — run and poke localhost detection clusters.
+"""``repro-cluster`` — run, poke and observe localhost detection clusters.
 
-Three subcommands:
+Subcommands:
 
 * ``run`` — build an n-node tree, launch every node on its own TCP (or
   loopback) transport inside one process, replay a simulator-derived
@@ -12,10 +12,20 @@ Three subcommands:
 * ``status`` — query a running cluster's admin endpoint.
 * ``kill-node`` — crash a node in a running cluster via its admin
   endpoint.
+* ``watch`` — scrape a running cluster's per-node telemetry islands
+  through the admin endpoint, merge + trace-stitch them
+  (:mod:`repro.obs.cluster`) and print the live cluster status table
+  (per-node alarms/reports, realized α by level, reconnects, outbox
+  depths); ``--interval`` re-polls until interrupted.
+* ``postmortem`` — reconstruct the crash → repair → recovery timeline
+  from a directory of flight-recorder snapshots
+  (:mod:`repro.obs.flight`), as written by ``run --flight-dir``.
 
-Exports mirror ``repro-trace``: ``--prom`` and ``--jsonl`` write the
-shared telemetry registry / event log, where all ``repro_net_*`` socket
-metrics appear next to the ordinary detection metrics.
+Exports mirror ``repro-trace``: ``--prom`` / ``--jsonl`` / ``--chrome``
+write the *aggregated* cluster telemetry — per-node registries merged,
+span trees stitched across TCP hops — so all ``repro_net_*`` socket
+metrics appear next to the ordinary detection metrics and alarm traces
+read end-to-end.
 """
 
 from __future__ import annotations
@@ -89,20 +99,81 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="inject the kill once this many detections have fired (default 1)",
     )
+    obs = run.add_argument_group("observability")
+    obs.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm flight recorders; crash/repair/SLO snapshots land here",
+    )
+    obs.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=256,
+        help="flight-recorder ring size (default 256)",
+    )
+    obs.add_argument(
+        "--slo-latency-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO: breach when any node's detection-latency p99 exceeds this",
+    )
+    obs.add_argument(
+        "--slo-repair-duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO: breach when a repair takes longer than this",
+    )
+    obs.add_argument(
+        "--slo-outbox-depth",
+        type=int,
+        default=None,
+        metavar="MESSAGES",
+        help="SLO: breach when any peer outbox exceeds this depth",
+    )
     out = run.add_argument_group("exports")
     out.add_argument("--admin-port", type=int, default=None, help="serve the admin endpoint")
     out.add_argument("--prom", metavar="PATH", help="write a Prometheus text exposition")
     out.add_argument("--jsonl", metavar="PATH", help="write the event log as JSON lines")
+    out.add_argument(
+        "--chrome", metavar="PATH", help="write the stitched span trace as Chrome trace JSON"
+    )
     out.add_argument(
         "--summary-json", metavar="PATH", help="write the run summary as JSON (default: stdout)"
     )
 
     status = sub.add_parser("status", help="query a running cluster")
     kill = sub.add_parser("kill-node", help="crash a node in a running cluster")
-    for sp in (status, kill):
+    watch = sub.add_parser(
+        "watch", help="scrape + merge a running cluster's telemetry"
+    )
+    for sp in (status, kill, watch):
         sp.add_argument("--host", default="127.0.0.1")
         sp.add_argument("--admin-port", type=int, required=True)
     kill.add_argument("--node", type=int, required=True)
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-poll every SECONDS until interrupted (default: one shot)",
+    )
+    watch.add_argument(
+        "--prom", metavar="PATH", help="also write the merged Prometheus exposition"
+    )
+
+    pm = sub.add_parser(
+        "postmortem", help="reconstruct a timeline from flight snapshots"
+    )
+    pm.add_argument("directory", help="directory of flight-*.jsonl snapshots")
+    pm.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    pm.add_argument(
+        "--limit", type=int, default=40, help="max detections listed (default 40)"
+    )
 
     return parser
 
@@ -111,8 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
 # run
 # ----------------------------------------------------------------------
 async def _run_cluster(args) -> dict:
+    from ..monitor.spec import SLOSpec
     from .cluster import ClusterSpec, LocalCluster
 
+    slo = SLOSpec(
+        detection_latency_p99=args.slo_latency_p99,
+        repair_duration=args.slo_repair_duration,
+        outbox_depth=args.slo_outbox_depth,
+    )
     spec = ClusterSpec(
         nodes=args.nodes,
         degree=args.degree,
@@ -121,6 +198,9 @@ async def _run_cluster(args) -> dict:
         epochs=args.epochs,
         interval_spacing=args.interval_spacing,
         admin_port=args.admin_port,
+        flight_dir=args.flight_dir,
+        flight_capacity=args.flight_capacity,
+        slo=slo if slo.enabled else None,
     )
     cluster = LocalCluster(spec)
     summary: dict = {"spec": {"nodes": spec.nodes, "degree": spec.degree,
@@ -165,7 +245,8 @@ async def _run_cluster(args) -> dict:
     finally:
         await cluster.stop()
 
-    registry = cluster.telemetry.registry
+    view = cluster.view()
+    registry = view.registry
     frames = registry.get("repro_net_frames_total")
     summary.update(
         detections=len(cluster.detections),
@@ -175,8 +256,20 @@ async def _run_cluster(args) -> dict:
         if registry.get("repro_net_reconnects_total")
         else 0,
         false_suspicions=len(cluster.log.of_kind("false_suspicion")),
+        cross_node_alarms=len(view.cross_node_alarms()),
+        stitched_hops=view.stitched_hops,
+        alpha_by_level={
+            str(level): round(value, 4)
+            for level, value in sorted(view.alpha_by_level().items())
+        },
+        slo_breaches=len(cluster.log.of_kind("slo_breach")),
         uptime=round(cluster.clock.now, 3),
     )
+    if args.flight_dir:
+        summary["flight_snapshots"] = sum(
+            len(recorder.snapshots)
+            for recorder in cluster.flight_recorders.values()
+        )
 
     if args.prom:
         from ..obs.export import prometheus_text
@@ -187,6 +280,10 @@ async def _run_cluster(args) -> dict:
         from ..obs.export import eventlog_to_jsonl
 
         eventlog_to_jsonl(cluster.log, args.jsonl)
+    if args.chrome:
+        from ..obs.export import write_chrome_trace
+
+        write_chrome_trace(view.spans, args.chrome, time_base="wall")
     return summary
 
 
@@ -232,6 +329,65 @@ def _cmd_admin(args, request: dict) -> int:
     return 0 if response.get("ok") else 1
 
 
+# ----------------------------------------------------------------------
+# observability surfaces
+# ----------------------------------------------------------------------
+def _watch_once(args) -> int:
+    from ..obs.cluster import ClusterScraper, TelemetryAggregator
+
+    scraper = ClusterScraper(args.host, args.admin_port)
+    try:
+        scrape = scraper.scrape_sync()
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-cluster: cannot reach admin endpoint: {exc}", file=sys.stderr)
+        return 1
+    view = TelemetryAggregator().fold(scrape)
+    print(view.status_table())
+    if args.prom:
+        from ..obs.export import prometheus_text
+
+        with open(args.prom, "w", encoding="utf-8") as fp:
+            fp.write(prometheus_text(view.registry))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import time
+
+    if args.interval is None:
+        return _watch_once(args)
+    try:
+        while True:
+            code = _watch_once(args)
+            if code != 0:
+                return code
+            print()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_postmortem(args) -> int:
+    from ..obs.flight import postmortem, render_postmortem
+
+    try:
+        report = postmortem(args.directory)
+    except (OSError, ValueError) as exc:
+        print(f"repro-cluster: cannot load snapshots: {exc}", file=sys.stderr)
+        return 1
+    if not report["snapshots"]:
+        print(
+            f"repro-cluster: no flight-*.jsonl snapshots in {args.directory}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_postmortem(report, limit=args.limit))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -240,6 +396,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_admin(args, {"cmd": "status"})
     if args.command == "kill-node":
         return _cmd_admin(args, {"cmd": "kill-node", "node": args.node})
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args)
     raise SystemExit(2)
 
 

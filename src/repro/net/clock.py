@@ -15,10 +15,15 @@ asyncio loop, so the same classes run unmodified on a real network:
 * ``rng`` derives the same named deterministic streams as the
   simulator's int-seed path, so e.g. heartbeat tick phases stay
   reproducible given a cluster seed;
-* ``emit``/``telemetry`` feed the ordinary :mod:`repro.obs` pipeline —
-  one :class:`~repro.obs.Telemetry` can be shared across every node of
-  an in-process cluster, which is what parents report/alarm spans
-  across node boundaries.
+* ``emit``/``telemetry`` feed the ordinary :mod:`repro.obs` pipeline.
+
+A clock can be shared whole (one ``Telemetry`` for every node — fine
+for unit tests) or fronted by per-node :class:`ClockScope` views: same
+time base, timers and rng streams, but a private registry, span tracker
+and event log per node.  Scoped telemetry is what a *real* deployment
+looks like — no process can read another's memory — and is what the
+cluster observability plane (:mod:`repro.obs.cluster`) scrapes and
+merges back into one cross-node view.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ import numpy as np
 from ..obs.telemetry import Telemetry
 from ..sim.eventlog import EventLog
 
-__all__ = ["AsyncClock", "ClockHandle"]
+__all__ = ["AsyncClock", "ClockScope", "ClockHandle"]
 
 
 class ClockHandle:
@@ -112,3 +117,55 @@ class AsyncClock:
     # ------------------------------------------------------------------
     def emit(self, kind: str, node=None, **fields) -> None:
         self.log.emit(self.now, kind, node, **fields)
+
+    # ------------------------------------------------------------------
+    def scope(self, node: int, *, log_capacity: Optional[int] = 65536) -> "ClockScope":
+        """A per-node telemetry island over this clock (see
+        :class:`ClockScope`)."""
+        return ClockScope(self, node, log_capacity=log_capacity)
+
+
+class ClockScope:
+    """One node's private view of a shared :class:`AsyncClock`.
+
+    Time, timers and named rng streams delegate to the parent clock (so
+    heartbeat phases etc. stay exactly as deterministic as the shared
+    path), but ``telemetry`` and ``log`` are the node's own — the
+    telemetry island a separate OS process would have.  Events are also
+    forwarded to the parent clock's log, so the cluster-wide event
+    timeline stays whole for in-process consumers while each node's log
+    holds exactly what that node could know about itself.
+    """
+
+    def __init__(
+        self,
+        parent: AsyncClock,
+        node: int,
+        *,
+        log_capacity: Optional[int] = 65536,
+    ) -> None:
+        self.parent = parent
+        self.node = node
+        self.seed = parent.seed
+        self.telemetry = Telemetry()
+        self.log = EventLog(capacity=log_capacity)
+
+    # -- delegated surface ---------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.parent.now
+
+    def rng(self, name: str) -> np.random.Generator:
+        return self.parent.rng(name)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> ClockHandle:
+        return self.parent.schedule(delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ClockHandle:
+        return self.parent.schedule_at(time, action)
+
+    # -- scoped surface ------------------------------------------------
+    def emit(self, kind: str, node=None, **fields) -> None:
+        now = self.now
+        self.log.emit(now, kind, node, **fields)
+        self.parent.log.emit(now, kind, node, **fields)

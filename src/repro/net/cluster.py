@@ -2,11 +2,15 @@
 
 :class:`LocalCluster` builds one :class:`~repro.net.runtime.NodeRuntime`
 per tree node inside a single asyncio loop — separate sockets, separate
-heartbeats, separate detector state, shared wall clock and telemetry.
-Sharing the :class:`~repro.net.clock.AsyncClock` (and therefore one
-:class:`~repro.obs.Telemetry`) is what keeps the cross-node trace whole:
-an alarm span at the root adopts report spans from children exactly as
-in the simulator.
+heartbeats, separate detector state, shared wall clock, and **separate
+telemetry**: every node gets a :class:`~repro.net.clock.ClockScope`, the
+private registry/span-tracker/event-log island a real OS process would
+hold.  The whole-cluster view is *reconstructed* the way a fleet
+monitor would build it — :attr:`LocalCluster.telemetry` scrapes every
+island (:func:`repro.obs.cluster.scrape_local`), merges the registries
+and stitches the per-node span trees back into cross-node alarm traces
+(:class:`repro.obs.cluster.TelemetryAggregator`), so an alarm is still
+explained down to leaf intervals on other nodes.
 
 The workload is an *interval script* — per-node interval streams
 captured from a reference simulator run
@@ -27,7 +31,22 @@ configuration bug like the simulator does.
 
 An optional admin endpoint (newline-delimited JSON over TCP) powers the
 ``repro-cluster status`` / ``kill-node`` commands against a running
-cluster.
+cluster, plus the observability plane's scrape commands —
+``telemetry`` (per-node registry dumps), ``spans`` (per-node span
+tables) and ``eventlog`` (per-node + cluster event streams) — which
+``repro-cluster watch`` and :class:`repro.obs.cluster.ClusterScraper`
+poll.
+
+Two more operator surfaces ride on the same machinery:
+
+* a :class:`~repro.obs.flight.FlightRecorder` per node (plus one for
+  the cluster log) when ``flight_dir`` is set — crash/repair/SLO
+  events snapshot the surrounding telemetry window to JSONL for
+  ``repro-cluster postmortem``;
+* an :class:`~repro.monitor.spec.SLOSpec` watchdog that periodically
+  checks detection-latency p99, repair durations and outbox depths and
+  emits a latched ``slo_breach`` event on violation (tripping the
+  flight recorder).
 """
 
 from __future__ import annotations
@@ -39,15 +58,23 @@ from typing import Dict, List, Optional, Tuple
 
 from ..detect.roles import DetectionRecord
 from ..fault.coordinator import RepairCoordinator
-from ..monitor.spec import HeartbeatSpec
+from ..monitor.spec import HeartbeatSpec, SLOSpec
+from ..obs.cluster import ClusterView, TelemetryAggregator, scrape_local
+from ..obs.export import _jsonable
+from ..obs.flight import FlightRecorder
 from ..topology.spanning_tree import SpanningTree
-from .clock import AsyncClock
+from .clock import AsyncClock, ClockScope
 from .codec import FrameCodec
 from .runtime import NodeRuntime
 from .script import IntervalScript, simulation_script
 from .transport import LoopbackHub, LoopbackTransport, TcpTransport
 
-__all__ = ["ClusterSpec", "LocalCluster"]
+__all__ = ["ClusterSpec", "LocalCluster", "REPAIR_DURATION_BUCKETS"]
+
+#: Wall-second buckets for plan→application repair durations.
+REPAIR_DURATION_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, float("inf"),
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +101,14 @@ class ClusterSpec:
     start_delay: float = 0.2
     #: TCP port for the admin endpoint (None disables it)
     admin_port: Optional[int] = None
+    #: directory for flight-recorder snapshots (None disables recording)
+    flight_dir: Optional[str] = None
+    #: flight-recorder ring size (newest events/spans kept per recorder)
+    flight_capacity: int = 256
+    #: service-level thresholds the watchdog checks (None disables it)
+    slo: Optional[SLOSpec] = None
+    #: wall seconds between SLO watchdog checks
+    slo_check_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -82,6 +117,10 @@ class ClusterSpec:
             raise ValueError("tree degree must be >= 1")
         if self.transport not in ("tcp", "loopback"):
             raise ValueError(f"unknown transport {self.transport!r}")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
+        if self.slo_check_interval <= 0:
+            raise ValueError("slo_check_interval must be positive")
 
     def tree(self) -> SpanningTree:
         """Breadth-first ``degree``-ary tree over ``nodes`` nodes."""
@@ -100,22 +139,44 @@ class _ClusterCoordinator(RepairCoordinator):
       ``false_suspicion``) instead of raising — on real machines a GC
       pause or CI stall can outlast any sane heartbeat timeout;
     * once a plan is applied, survivors drop the dead peer's transport
-      link so writer tasks stop redialling a closed listener.
+      link so writer tasks stop redialling a closed listener;
+    * repair milestones feed the observability plane: each plan's
+      plan→application wall duration lands in the cluster registry's
+      ``repro_cluster_repair_duration_seconds`` histogram, and a
+      ``repair_applied`` event (paired with ``repair_planned`` by the
+      postmortem tooling and watched by the SLO watchdog) is emitted.
     """
 
     def __init__(self, *args, cluster: "LocalCluster", **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.cluster = cluster
+        self._planned_at: Dict[int, float] = {}
+        self.durations: Dict[int, float] = {}
 
     def report_failure(self, failed: int, reporter: int) -> None:
         if failed not in self._handled and self._is_alive(failed):
             self.sim.emit("false_suspicion", node=reporter, suspect=failed)
             return
+        if failed not in self._planned_at:
+            self._planned_at[failed] = self.sim.now
         super().report_failure(failed, reporter)
 
     def _apply(self, plan) -> None:
         super()._apply(plan)
         self.cluster._disconnect(plan.failed)
+        duration = self.sim.now - self._planned_at.get(plan.failed, self.sim.now)
+        self.durations[plan.failed] = duration
+        self.sim.telemetry.registry.histogram(
+            "repro_cluster_repair_duration_seconds",
+            "Wall seconds from a repair plan to its application.",
+            REPAIR_DURATION_BUCKETS,
+        ).observe(duration)
+        self.sim.emit(
+            "repair_applied",
+            node=plan.failed,
+            failed=plan.failed,
+            duration=round(duration, 6),
+        )
 
 
 class LocalCluster:
@@ -146,14 +207,28 @@ class LocalCluster:
         self._offer_handles: List[object] = []
         self._started = False
         self._stopped = False
+        self.scopes: Dict[int, ClockScope] = {}
+        self.flight_recorders: Dict[str, FlightRecorder] = {}
+        self._slo_handle: Optional[object] = None
+        self._slo_latched: set = set()
 
     # ------------------------------------------------------------------
     @property
     def telemetry(self):
-        return self.clock.telemetry
+        """The *aggregated* cluster telemetry: every node's island
+        scraped, merged and trace-stitched (see :meth:`view`).  Shaped
+        like an ordinary :class:`~repro.obs.Telemetry`, so exporters and
+        summaries read it unchanged."""
+        return self.view().telemetry
+
+    def view(self) -> ClusterView:
+        """Scrape + fold the cluster's current observability state."""
+        return TelemetryAggregator().fold(scrape_local(self))
 
     @property
     def log(self):
+        """The whole-cluster event log (scoped clocks forward every
+        node's events here)."""
         return self.clock.log
 
     def is_alive(self, pid: int) -> bool:
@@ -178,14 +253,18 @@ class LocalCluster:
 
         transports: Dict[int, object] = {}
         for pid in self.tree.nodes:
+            # Each node records into its own telemetry island — the
+            # deployment-realistic shape the observability plane scrapes.
+            scope = self.clock.scope(pid)
+            self.scopes[pid] = scope
             if self._hub is not None:
                 transport = LoopbackTransport(
-                    pid, self._hub, self.clock, codec_factory=self._codec_factory
+                    pid, self._hub, scope, codec_factory=self._codec_factory
                 )
             else:
                 transport = TcpTransport(
                     pid,
-                    self.clock,
+                    scope,
                     host=self.spec.host,
                     codec_factory=self._codec_factory,
                 )
@@ -193,7 +272,7 @@ class LocalCluster:
             self.runtimes[pid] = NodeRuntime(
                 pid,
                 transport,
-                self.clock,
+                scope,
                 parent=self.tree.parent_of(pid),
                 children=self.tree.children(pid),
                 level=self.tree.level(pid),
@@ -217,7 +296,36 @@ class LocalCluster:
             self._admin_server = await asyncio.start_server(
                 self._handle_admin, host=self.spec.host, port=self.spec.admin_port
             )
+        if self.spec.flight_dir is not None:
+            self._start_flight_recorders()
+        if self.spec.slo is not None and self.spec.slo.enabled:
+            self._slo_handle = self.clock.schedule(
+                self.spec.slo_check_interval, self._check_slo
+            )
         self.clock.emit("cluster_started", nodes=self.tree.n)
+
+    def _start_flight_recorders(self) -> None:
+        """One recorder per node island plus one on the cluster log, so
+        a node's dying telemetry and the cluster-wide storyline are both
+        persisted around crash/repair/SLO events."""
+        now = lambda: self.clock.now  # noqa: E731 — recorder clock stamp
+        for pid, scope in sorted(self.scopes.items()):
+            self.flight_recorders[f"node-{pid}"] = FlightRecorder(
+                scope.log,
+                scope.telemetry.spans,
+                self.spec.flight_dir,
+                source=f"node-{pid}",
+                capacity=self.spec.flight_capacity,
+                now=now,
+            )
+        self.flight_recorders["cluster"] = FlightRecorder(
+            self.clock.log,
+            None,
+            self.spec.flight_dir,
+            source="cluster",
+            capacity=self.spec.flight_capacity,
+            now=now,
+        )
 
     def _schedule_offers(self) -> None:
         """Replay each node's interval stream in order, offers paced by
@@ -277,6 +385,9 @@ class LocalCluster:
         self._stopped = True
         for handle in self._offer_handles:
             handle.cancel()
+        if self._slo_handle is not None:
+            self._slo_handle.cancel()
+            self._slo_handle = None
         if self._admin_server is not None:
             self._admin_server.close()
             await self._admin_server.wait_closed()
@@ -284,6 +395,60 @@ class LocalCluster:
         for runtime in self.runtimes.values():
             await runtime.shutdown()
         self.clock.emit("cluster_stopped", detections=len(self.detections))
+        for recorder in self.flight_recorders.values():
+            recorder.snapshot("shutdown")
+            recorder.close()
+
+    # ------------------------------------------------------------------
+    # SLO watchdog
+    # ------------------------------------------------------------------
+    def _breach(self, slo: str, value: float, threshold, node=None) -> None:
+        """Emit one latched ``slo_breach`` per (check, node) pair — the
+        flight recorder snapshots it; repeats would only spam."""
+        key = (slo, node)
+        if key in self._slo_latched:
+            return
+        self._slo_latched.add(key)
+        self.clock.emit(
+            "slo_breach",
+            node=node,
+            slo=slo,
+            value=round(float(value), 6),
+            threshold=threshold,
+        )
+
+    def _check_slo(self) -> None:
+        if self._stopped:
+            return
+        slo = self.spec.slo
+        if slo.detection_latency_p99 is not None:
+            for pid, scope in self.scopes.items():
+                histogram = scope.telemetry.registry.get("repro_detection_latency")
+                if histogram is None or not histogram.count:
+                    continue
+                p99 = histogram.percentile(99.0)
+                if p99 is not None and p99 > slo.detection_latency_p99:
+                    self._breach(
+                        "detection_latency_p99",
+                        p99,
+                        slo.detection_latency_p99,
+                        node=pid,
+                    )
+        if slo.outbox_depth is not None:
+            for pid, scope in self.scopes.items():
+                vec = scope.telemetry.registry.get("repro_net_outbox_depth")
+                depth = max(vec.values(), default=0) if vec else 0
+                if depth > slo.outbox_depth:
+                    self._breach("outbox_depth", depth, slo.outbox_depth, node=pid)
+        if slo.repair_duration is not None:
+            for failed, duration in self.coordinator.durations.items():
+                if duration > slo.repair_duration:
+                    self._breach(
+                        "repair_duration", duration, slo.repair_duration, node=failed
+                    )
+        self._slo_handle = self.clock.schedule(
+            self.spec.slo_check_interval, self._check_slo
+        )
 
     # ------------------------------------------------------------------
     # introspection / admin
@@ -292,10 +457,61 @@ class LocalCluster:
         return {
             "nodes": self.tree.n,
             "alive": [pid for pid in self.tree.nodes if self.is_alive(pid)],
+            "levels": {str(pid): self.tree.level(pid) for pid in self.tree.nodes},
             "detections": len(self.detections),
             "repairs": sorted(self.coordinator.plans),
             "false_suspicions": len(self.log.of_kind("false_suspicion")),
             "uptime": round(self.clock.now, 3),
+        }
+
+    @staticmethod
+    def _event_dicts(log) -> List[dict]:
+        return [
+            {
+                "time": record.time,
+                "kind": record.kind,
+                "node": record.node,
+                "fields": _jsonable(record.as_dict()),
+            }
+            for record in list(log.records)
+        ]
+
+    def _telemetry_payload(self) -> dict:
+        return {
+            "nodes": {
+                str(pid): scope.telemetry.registry.to_dict()
+                for pid, scope in sorted(self.scopes.items())
+            },
+            "cluster": self.clock.telemetry.registry.to_dict(),
+        }
+
+    def _spans_payload(self) -> dict:
+        return {
+            "nodes": {
+                str(pid): scope.telemetry.spans.to_dicts()
+                for pid, scope in sorted(self.scopes.items())
+            }
+        }
+
+    def _eventlog_payload(self) -> dict:
+        return {
+            "nodes": {
+                str(pid): self._event_dicts(scope.log)
+                for pid, scope in sorted(self.scopes.items())
+            },
+            "cluster": self._event_dicts(self.clock.log),
+        }
+
+    def scrape_payload(self) -> dict:
+        """Everything the observability plane needs, in the JSON wire
+        forms the admin endpoint serves — :func:`repro.obs.cluster.scrape_local`
+        and :class:`~repro.obs.cluster.ClusterScraper` parse the same
+        shapes, so the in-process and over-the-wire paths cannot drift."""
+        return {
+            "status": self.status(),
+            "telemetry": self._telemetry_payload(),
+            "spans": self._spans_payload(),
+            "eventlog": self._eventlog_payload(),
         }
 
     async def _handle_admin(
@@ -327,6 +543,12 @@ class LocalCluster:
         cmd = request.get("cmd")
         if cmd == "status":
             return {"ok": True, **self.status()}
+        if cmd == "telemetry":
+            return {"ok": True, **self._telemetry_payload()}
+        if cmd == "spans":
+            return {"ok": True, **self._spans_payload()}
+        if cmd == "eventlog":
+            return {"ok": True, **self._eventlog_payload()}
         if cmd == "kill-node":
             pid = int(request["node"])
             if pid not in self.runtimes:

@@ -102,16 +102,28 @@ class FrameCodec:
     # ------------------------------------------------------------------
     # encode
     # ------------------------------------------------------------------
-    def encode(self, message: Union[object, dict]) -> bytes:
-        """One message (or meta dict) -> one framed byte string."""
+    def encode(
+        self, message: Union[object, dict], meta: Optional[dict] = None
+    ) -> bytes:
+        """One message (or meta dict) -> one framed byte string.
+
+        ``meta`` is an optional JSON-safe sidecar dict carried in the
+        frame body under ``"_meta"`` — transport-level annotations (the
+        sender's span id, for cross-node trace stitching) that never
+        touch the message dataclass itself.  The decoder hands it back
+        via :meth:`feed_meta`."""
         if isinstance(message, dict):
             if not str(message.get("type", "")).startswith("__"):
                 raise ValueError("dict frames are reserved for __meta__ types")
+            if meta is not None:
+                raise ValueError("meta frames cannot carry a _meta sidecar")
             data = message
         else:
             data = message_to_dict(message, include_parts=self.include_parts)
             if self.compress and data["type"] == "IntervalReport":
                 self._compress_interval(data["interval"])
+            if meta is not None:
+                data["_meta"] = meta
         body = json.dumps(data, separators=(",", ":")).encode("utf-8")
         if len(body) > self.max_frame:
             raise ValueError(
@@ -148,9 +160,15 @@ class FrameCodec:
     # ------------------------------------------------------------------
     def feed(self, data: bytes) -> List[object]:
         """Buffer raw socket bytes; return every message that became
-        complete (meta frames come back as plain dicts)."""
+        complete (meta frames come back as plain dicts).  Frame sidecars
+        are discarded — use :meth:`feed_meta` to keep them."""
+        return [message for message, _ in self.feed_meta(data)]
+
+    def feed_meta(self, data: bytes) -> List[Tuple[object, Optional[dict]]]:
+        """Like :meth:`feed`, but each message comes back with the frame
+        ``_meta`` sidecar (or ``None``) it was encoded with."""
         self._buffer.extend(data)
-        out: List[object] = []
+        out: List[Tuple[object, Optional[dict]]] = []
         while len(self._buffer) >= _HEADER.size:
             (length,) = _HEADER.unpack_from(self._buffer)
             if length > self.max_frame:
@@ -172,14 +190,15 @@ class FrameCodec:
             raise ValueError("decode() expects exactly one complete frame")
         return messages[0]
 
-    def _decode_body(self, body: bytes) -> object:
+    def _decode_body(self, body: bytes) -> Tuple[object, Optional[dict]]:
         data = json.loads(body.decode("utf-8"))
         kind = str(data.get("type", ""))
         if kind.startswith("__"):
-            return data
+            return data, None
+        meta = data.pop("_meta", None)
         if kind == "IntervalReport":
             self._decompress_interval(data["interval"])
-        return message_from_dict(data)
+        return message_from_dict(data), meta
 
     def _decompress_interval(self, data: dict) -> None:
         for slot, bound in enumerate(("lo", "hi")):

@@ -21,6 +21,26 @@ transport may replay the in-flight report, and the role's
 outcome on this plane, so the runtime catches it, counts it under
 ``repro_net_stale_frames_total`` and moves on — the role itself stays
 byte-identical to the simulated one.
+
+Cross-node trace stitching
+--------------------------
+When each node owns a private span tracker (a
+:class:`~repro.net.clock.ClockScope` — the realistic deployment shape),
+the causal chain interval → report → alarm breaks at every TCP hop: the
+sender's ``report`` span lives in the sender's tracker, invisible to
+the receiver.  The runtime repairs this at the transport boundary:
+
+* outbound ``IntervalReport`` frames carry the sender's report-span id
+  in the frame's ``_meta`` sidecar (``{"span": [node, sid]}``);
+* on receipt, if the aggregate's span key is unknown locally, a ``hop``
+  placeholder span is recorded under that key, holding the remote
+  ``(node, sid)`` coordinates.  The receiving role's ordinary adoption
+  then parents the *hop* span, and the cluster aggregator
+  (:mod:`repro.obs.cluster`) later re-parents the sender's report span
+  beneath the hop — reconnecting the trace across process boundaries.
+
+With a shared tracker the key is already registered, so no hop spans
+appear and behavior is byte-identical to the pre-scope runtime.
 """
 
 from __future__ import annotations
@@ -30,7 +50,7 @@ from typing import Callable, Optional, Sequence
 from ..detect.roles import DetectionRecord, HierarchicalRole
 from ..intervals import Interval
 from ..obs.spans import interval_key
-from .clock import AsyncClock
+from ..sim.messages import IntervalReport
 from .transport import Transport
 
 __all__ = ["NodeRuntime"]
@@ -48,7 +68,7 @@ class NodeRuntime:
         self,
         node_id: int,
         transport: Transport,
-        clock: AsyncClock,
+        clock,
         *,
         parent: Optional[int],
         children: Sequence[int],
@@ -91,7 +111,17 @@ class NodeRuntime:
     def send_control(self, dst: int, message: object) -> None:
         if not self.alive:
             return
-        self.transport.send(dst, message)
+        self.transport.send(dst, message, self._span_meta(message))
+
+    def _span_meta(self, message: object) -> Optional[dict]:
+        """Frame sidecar for trace stitching: the local span coordinates
+        of an outbound report's aggregate (see module docstring)."""
+        if not isinstance(message, IntervalReport):
+            return None
+        span = self.sim.telemetry.spans.get(interval_key(message.interval))
+        if span is None:
+            return None
+        return {"span": [self.pid, span.sid]}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -101,19 +131,24 @@ class NodeRuntime:
         up and the peer map installed."""
         self.role.on_start()
 
-    def kill(self) -> None:
+    def kill(self, *, reason: str = "crash") -> None:
         """Crash-stop this node: stop producing, sending and receiving.
         The transport is torn down separately (:meth:`shutdown`) so a
-        ``kill-node`` admin command stays synchronous."""
+        ``kill-node`` admin command stays synchronous.
+
+        ``reason`` is the emitted event kind — ``crash`` for a real
+        crash-stop (trips flight recorders), ``node_stopped`` for the
+        graceful-teardown path, so a clean shutdown never reads as a
+        fleet-wide crash in postmortems."""
         if not self.alive:
             return
         self.alive = False
         self.role.on_crash()
-        self.sim.emit("crash", node=self.pid)
+        self.sim.emit(reason, node=self.pid)
 
     async def shutdown(self) -> None:
-        """Graceful teardown: kill the node, then close its sockets."""
-        self.kill()
+        """Graceful teardown: stop the node, then close its sockets."""
+        self.kill(reason="node_stopped")
         await self.transport.stop()
 
     # ------------------------------------------------------------------
@@ -141,9 +176,11 @@ class NodeRuntime:
     # ------------------------------------------------------------------
     # inbound dispatch
     # ------------------------------------------------------------------
-    def _on_message(self, src: int, message: object) -> None:
+    def _on_message(self, src: int, message: object, meta: Optional[dict] = None) -> None:
         if not self.alive:
             return
+        if meta is not None:
+            self._record_hop(src, message, meta)
         try:
             self.role.on_control_message(src, message)
         except ValueError as exc:
@@ -153,3 +190,30 @@ class NodeRuntime:
             self.sim.emit(
                 "net_stale_frame", node=self.pid, src=src, error=str(exc)
             )
+
+    def _record_hop(self, src: int, message: object, meta: dict) -> None:
+        """Register the received aggregate under its span key as a
+        ``hop`` placeholder carrying the sender's span coordinates.
+
+        No-op when the key is already known — either the tracker is
+        shared (the sender's report span is right there) or this is an
+        at-least-once redelivery of a frame we already hopped."""
+        remote = meta.get("span")
+        if not (isinstance(message, IntervalReport) and isinstance(remote, list)):
+            return
+        spans = self.sim.telemetry.spans
+        key = interval_key(message.interval)
+        if spans.get(key) is not None:
+            return
+        now = self.sim.now
+        spans.record(
+            "hop",
+            now,
+            now,
+            node=self.pid,
+            key=key,
+            src=src,
+            remote_node=int(remote[0]),
+            remote_sid=int(remote[1]),
+            seq=message.interval.seq,
+        )

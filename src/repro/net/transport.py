@@ -32,9 +32,9 @@ metrics use their own distinct names (``repro_net_bytes_sent_total``,
 from __future__ import annotations
 
 import asyncio
+import inspect
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
-from .clock import AsyncClock
 from .codec import HELLO_TYPE, FrameCodec
 
 __all__ = [
@@ -52,7 +52,29 @@ SEND_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, float("inf"),
 )
 
-Receiver = Callable[[int, object], None]
+#: Inbound dispatch callback.  Transports call receivers as
+#: ``(src, message, meta)`` where ``meta`` is the frame's optional
+#: ``_meta`` sidecar; two-argument callables are adapted automatically
+#: (:func:`_adapt_receiver`), so simple ``lambda src, msg: …`` receivers
+#: keep working.
+Receiver = Callable[..., None]
+
+
+def _adapt_receiver(receiver: Receiver) -> Callable[[int, object, Optional[dict]], None]:
+    """Wrap a 2-arg receiver so transports can always pass the frame
+    meta sidecar as a third argument."""
+    try:
+        parameters = inspect.signature(receiver).parameters.values()
+    except (TypeError, ValueError):  # builtins, C callables: assume modern
+        return receiver
+    if any(p.kind == p.VAR_POSITIONAL for p in parameters):
+        return receiver
+    positional = [
+        p for p in parameters if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if len(positional) >= 3:
+        return receiver
+    return lambda src, message, meta=None: receiver(src, message)
 
 #: Meta frame flowing back on an inbound connection: ``n`` is the
 #: cumulative count of message frames received on that connection.
@@ -66,10 +88,12 @@ class Transport(Protocol):
     node_id: int
 
     def set_receiver(self, receiver: Receiver) -> None:
-        """Install the inbound dispatch callback ``(src, message)``."""
+        """Install the inbound dispatch callback ``(src, message[, meta])``."""
 
-    def send(self, dst: int, message: object) -> None:
-        """Enqueue *message* for *dst* (non-blocking, fire-and-forget)."""
+    def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:
+        """Enqueue *message* for *dst* (non-blocking, fire-and-forget).
+        ``meta`` is an optional JSON-safe frame sidecar delivered to the
+        peer's receiver alongside the message."""
 
     async def start(self) -> None:
         """Bring the transport up (bind listeners, join the hub)."""
@@ -85,9 +109,13 @@ class Transport(Protocol):
 
 
 class _Instruments:
-    """The socket-plane metric family, shared by both transports."""
+    """The socket-plane metric family, shared by both transports.
 
-    def __init__(self, clock: AsyncClock) -> None:
+    ``clock`` may be a whole :class:`AsyncClock` or a per-node
+    :class:`~repro.net.clock.ClockScope` — metrics land in whichever
+    registry that handle owns."""
+
+    def __init__(self, clock) -> None:
         registry = clock.telemetry.registry
         self.bytes_sent = registry.counter_vec(
             "repro_net_bytes_sent_total",
@@ -164,7 +192,7 @@ class LoopbackTransport:
         self,
         node_id: int,
         hub: LoopbackHub,
-        clock: AsyncClock,
+        clock,
         *,
         codec_factory: Callable[[], FrameCodec] = FrameCodec,
     ) -> None:
@@ -179,7 +207,7 @@ class LoopbackTransport:
         self._running = False
 
     def set_receiver(self, receiver: Receiver) -> None:
-        self.receiver = receiver
+        self.receiver = _adapt_receiver(receiver)
 
     async def start(self) -> None:
         self.hub.attach(self)
@@ -198,7 +226,7 @@ class LoopbackTransport:
         self._encoders.pop(peer, None)
         self._decoders.pop(peer, None)
 
-    def send(self, dst: int, message: object) -> None:
+    def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:
         if not self._running:
             return
         peer = self.hub.transports.get(dst)
@@ -208,7 +236,7 @@ class LoopbackTransport:
         codec = self._encoders.get(dst)
         if codec is None:
             codec = self._encoders[dst] = self.codec_factory()
-        frame = codec.encode(message)
+        frame = codec.encode(message, meta)
         self.instruments.sent(self.node_id, message, len(frame))
         loop = asyncio.get_running_loop()
         loop.call_soon(peer._deliver, self.node_id, frame)
@@ -219,9 +247,9 @@ class LoopbackTransport:
         codec = self._decoders.get(src)
         if codec is None:
             codec = self._decoders[src] = self.codec_factory()
-        for message in codec.feed(frame):
+        for message, meta in codec.feed_meta(frame):
             self.instruments.received(self.node_id, message, len(frame))
-            self.receiver(src, message)
+            self.receiver(src, message, meta)
 
 
 # ----------------------------------------------------------------------
@@ -246,7 +274,7 @@ class _PeerLink:
         self.owner = owner
         self.peer = peer
         self.address = address
-        self.pending: List[Tuple[float, object]] = []
+        self.pending: List[Tuple[float, object, Optional[dict]]] = []
         self.wake = asyncio.Event()
         self.congested = False
         self.task: Optional[asyncio.Task] = None
@@ -256,12 +284,12 @@ class _PeerLink:
         self._acked = 0
 
     # -- queueing ------------------------------------------------------
-    def enqueue(self, message: object) -> None:
+    def enqueue(self, message: object, meta: Optional[dict] = None) -> None:
         owner = self.owner
         if len(self.pending) >= owner.max_outbox:
             owner.instruments.dropped[(owner.node_id, "outbox-full")] += 1
             return
-        self.pending.append((owner.clock.now, message))
+        self.pending.append((owner.clock.now, message, meta))
         depth = len(self.pending)
         owner.instruments.outbox_depth[(owner.node_id, self.peer)] = depth
         if depth >= owner.high_water and not self.congested:
@@ -337,8 +365,8 @@ class _PeerLink:
                     continue
                 await self.wake.wait()
                 continue
-            _, message = self.pending[self._sent]
-            frame = codec.encode(message)
+            _, message, meta = self.pending[self._sent]
+            frame = codec.encode(message, meta)
             writer.write(frame)
             await writer.drain()
             self._sent += 1
@@ -356,7 +384,7 @@ class _PeerLink:
                     continue
                 target = int(meta["n"])
                 while self._acked < target and self._sent > 0 and self.pending:
-                    enqueued_at, _ = self.pending.pop(0)
+                    enqueued_at, _, _ = self.pending.pop(0)
                     self._acked += 1
                     self._sent -= 1
                     owner.instruments.send_latency.observe(
@@ -383,7 +411,7 @@ class TcpTransport:
     def __init__(
         self,
         node_id: int,
-        clock: AsyncClock,
+        clock,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -417,7 +445,7 @@ class TcpTransport:
 
     # ------------------------------------------------------------------
     def set_receiver(self, receiver: Receiver) -> None:
-        self.receiver = receiver
+        self.receiver = _adapt_receiver(receiver)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -469,14 +497,14 @@ class TcpTransport:
             link.close()
 
     # ------------------------------------------------------------------
-    def send(self, dst: int, message: object) -> None:
+    def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:
         if not self._running:
             return
         link = self._links.get(dst)
         if link is None:
             self.instruments.dropped[(self.node_id, "no-route")] += 1
             return
-        link.enqueue(message)
+        link.enqueue(message, meta)
 
     # ------------------------------------------------------------------
     async def _handle_inbound(
@@ -495,7 +523,7 @@ class TcpTransport:
                 if not chunk:
                     break
                 self.instruments.bytes_received[self.node_id] += len(chunk)
-                for message in codec.feed(chunk):
+                for message, meta in codec.feed_meta(chunk):
                     if isinstance(message, dict):
                         if message.get("type") == HELLO_TYPE:
                             src = int(message["node"])
@@ -508,7 +536,7 @@ class TcpTransport:
                     self.instruments.received(self.node_id, message)
                     if self.receiver is not None:
                         try:
-                            self.receiver(src, message)
+                            self.receiver(src, message, meta)
                         except Exception as exc:  # noqa: BLE001 — keep the link up
                             self.clock.emit(
                                 "net_receiver_error",

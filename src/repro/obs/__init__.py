@@ -10,14 +10,34 @@ runs as JSONL, Prometheus text or Chrome trace-event JSON.  The
 terminal.
 
 See ``docs/observability.md`` for metric names, the span schema and
-exporter formats.
+exporter formats, and ``docs/cluster-observability.md`` for the
+cluster plane: :mod:`repro.obs.cluster` (scraping, registry merging,
+cross-node trace stitching) and :mod:`repro.obs.flight` (the crash
+flight recorder and postmortem tooling).
 """
 
+from .cluster import (
+    ClusterScrape,
+    ClusterScraper,
+    ClusterView,
+    NodeScrape,
+    TelemetryAggregator,
+    scrape_local,
+)
 from .export import (
     chrome_trace,
     eventlog_to_jsonl,
     prometheus_text,
     write_chrome_trace,
+)
+from .flight import (
+    FlightRecorder,
+    FlightSnapshot,
+    load_snapshot,
+    load_snapshots,
+    postmortem,
+    reconstruct_timeline,
+    render_postmortem,
 )
 from .registry import (
     DEFAULT_BUCKETS,
@@ -32,20 +52,33 @@ from .spans import Span, SpanTracker, interval_key
 from .telemetry import LATENCY_BUCKETS, Telemetry
 
 __all__ = [
+    "ClusterScrape",
+    "ClusterScraper",
+    "ClusterView",
     "CounterMetric",
     "CounterVec",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "FlightSnapshot",
     "Gauge",
     "GaugeVec",
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "NodeScrape",
     "Span",
     "SpanTracker",
     "Telemetry",
+    "TelemetryAggregator",
     "chrome_trace",
     "eventlog_to_jsonl",
     "interval_key",
+    "load_snapshot",
+    "load_snapshots",
+    "postmortem",
     "prometheus_text",
+    "reconstruct_timeline",
+    "render_postmortem",
+    "scrape_local",
     "write_chrome_trace",
 ]

@@ -36,8 +36,13 @@ __all__ = [
     "write_chrome_trace",
 ]
 
-#: Simulated-time → Chrome-trace microseconds (1 unit = 1 ms).
-_TS_SCALE = 1000.0
+#: Chrome-trace ``ts`` is in microseconds.  Simulated time is unitless,
+#: so the ``"sim"`` base maps 1 unit → 1 ms for comfortable zooming;
+#: the ``"wall"`` base is for spans whose clocks run in real seconds
+#: (``AsyncClock`` / ``repro.net``), mapping 1 s → 1e6 µs so Perfetto
+#: timelines read in true wall time.
+_TS_SCALES = {"sim": 1000.0, "wall": 1_000_000.0}
+_TS_SCALE = _TS_SCALES["sim"]
 
 
 def _jsonable(value):
@@ -122,8 +127,16 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if metric.kind == "histogram":
             for labels, value in metric.samples():
-                le = _format_label_value(labels["le"])
-                lines.append(f'{metric.name}_bucket{{le="{le}"}} {int(value)}')
+                # Render every label the sample carries, not just ``le``
+                # (Prometheus wants ``le`` last by convention).
+                rendered = ",".join(
+                    f'{name}="{_format_label_value(val)}"'
+                    for name, val in sorted(labels.items())
+                    if name != "le"
+                )
+                le = f'le="{_format_label_value(labels["le"])}"'
+                rendered = f"{rendered},{le}" if rendered else le
+                lines.append(f"{metric.name}_bucket{{{rendered}}} {int(value)}")
             lines.append(f"{metric.name}_sum {_format_sample_value(metric.sum)}")
             lines.append(f"{metric.name}_count {metric.count}")
             continue
@@ -146,6 +159,7 @@ def chrome_trace(
     tracker: SpanTracker,
     *,
     levels: Optional[Dict[int, int]] = None,
+    time_base: str = "sim",
 ) -> dict:
     """Render the span table as a Chrome trace-event document.
 
@@ -153,8 +167,19 @@ def chrome_trace(
     node's spans appear on.  Spans carrying a ``level`` attribute (the
     detector roles stamp one) win over the mapping; unknown nodes land
     on level 0.
+
+    ``time_base`` selects how span times become trace microseconds:
+    ``"sim"`` (default) treats them as unitless simulated time (1 unit →
+    1 ms), ``"wall"`` as wall seconds (1 s → 1e6 µs) — the correct base
+    for :class:`~repro.net.clock.AsyncClock` spans.
     """
+    if time_base not in _TS_SCALES:
+        raise ValueError(
+            f"time_base must be one of {sorted(_TS_SCALES)}, got {time_base!r}"
+        )
+    scale = _TS_SCALES[time_base]
     levels = levels or {}
+    by_sid = {span.sid: span for span in tracker.spans}
 
     def _level(span) -> int:
         level = span.attrs.get("level")
@@ -183,8 +208,8 @@ def chrome_trace(
                     "args": {"name": f"P{tid}"},
                 }
             )
-        start = span.start * _TS_SCALE
-        end = (span.end if span.end is not None else span.start) * _TS_SCALE
+        start = span.start * scale
+        end = (span.end if span.end is not None else span.start) * scale
         args = {str(k): _jsonable(v) for k, v in span.attrs.items()}
         args["sid"] = span.sid
         if span.parent is not None:
@@ -206,10 +231,12 @@ def chrome_trace(
             }
         )
         if span.parent is not None:
-            parent = tracker.spans[span.parent]
+            parent = by_sid.get(span.parent)
+            if parent is None:
+                continue  # dangling link in a snapshot tail
             parent_ts = (
                 parent.end if parent.end is not None else parent.start
-            ) * _TS_SCALE
+            ) * scale
             flow = {"cat": "causal", "id": span.sid, "name": "aggregates"}
             events.append(
                 {**flow, "ph": "s", "pid": pid, "tid": tid, "ts": round(end, 3)}
@@ -229,8 +256,9 @@ def write_chrome_trace(
     path: Union[str, Path],
     *,
     levels: Optional[Dict[int, int]] = None,
+    time_base: str = "sim",
 ) -> int:
     """Write :func:`chrome_trace` JSON to *path*; returns the event count."""
-    document = chrome_trace(tracker, levels=levels)
+    document = chrome_trace(tracker, levels=levels, time_base=time_base)
     Path(path).write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
     return len(document["traceEvents"])

@@ -19,6 +19,11 @@ Design notes
 * :class:`Histogram` keeps both fixed buckets (for Prometheus
   exposition) and the raw observations (for exact percentiles at
   simulation scale).
+* :meth:`MetricsRegistry.to_dict` / :meth:`MetricsRegistry.from_dict`
+  are the JSON wire form used by the cluster admin protocol: a scraped
+  registry round-trips losslessly (infinite bucket edges travel as the
+  string ``"+Inf"``) so :meth:`MetricsRegistry.merge` can fold remote
+  node registries exactly as it folds experiment shards.
 """
 
 from __future__ import annotations
@@ -44,6 +49,20 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelKey = Union[object, Tuple[object, ...]]
+
+
+def _edge_to_json(edge: float):
+    if math.isinf(edge):
+        return "+Inf" if edge > 0 else "-Inf"
+    return edge
+
+
+def _edge_from_json(edge) -> float:
+    if edge == "+Inf":
+        return math.inf
+    if edge == "-Inf":
+        return -math.inf
+    return float(edge)
 
 
 class CounterMetric:
@@ -339,6 +358,63 @@ class MetricsRegistry:
                     f"{type(theirs).__name__} into {type(mine).__name__}"
                 )
             mine.merge(theirs)
+
+    # ------------------------------------------------------------------
+    # JSON wire form (cluster scrapes, flight snapshots)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of every metric, in exposition order.
+
+        Inverse of :meth:`from_dict`; infinite bucket edges are spelled
+        ``"+Inf"`` because JSON has no ``inf`` literal."""
+        out: Dict[str, dict] = {}
+        for metric in self.metrics():
+            entry: dict = {"kind": type(metric).__name__, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = [_edge_to_json(b) for b in metric.buckets]
+                entry["values"] = list(metric._values)
+                entry["sum"] = metric.sum
+            elif isinstance(metric, (CounterVec, GaugeVec)):
+                entry["labelnames"] = list(metric.labelnames)
+                entry["items"] = [
+                    [list(key) if isinstance(key, tuple) else [key], value]
+                    for key, value in sorted(
+                        metric.items(), key=lambda kv: str(kv[0])
+                    )
+                ]
+            else:
+                entry["value"] = metric.value
+            out[metric.name] = entry
+        return {"metrics": out}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name, entry in sorted(data.get("metrics", {}).items()):
+            kind = entry["kind"]
+            help_ = entry.get("help", "")
+            if kind == "Histogram":
+                buckets = tuple(_edge_from_json(b) for b in entry["buckets"])
+                histogram = registry.histogram(name, help_, buckets)
+                for value in entry["values"]:
+                    histogram.observe(value)
+                histogram.sum = float(entry.get("sum", histogram.sum))
+            elif kind in ("CounterVec", "GaugeVec"):
+                vec_cls = CounterVec if kind == "CounterVec" else GaugeVec
+                vec = registry._get_or_create(
+                    name, vec_cls, help_, tuple(entry["labelnames"])
+                )
+                for key_list, value in entry["items"]:
+                    key = key_list[0] if len(key_list) == 1 else tuple(key_list)
+                    vec[key] = value
+            elif kind == "CounterMetric":
+                registry.counter(name, help_).value = entry["value"]
+            elif kind == "Gauge":
+                registry.gauge(name, help_).value = entry["value"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+        return registry
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[Metric]:

@@ -70,6 +70,34 @@ class Span:
         """Record a lifecycle point (``enqueued``, ``pruned``, …)."""
         self.marks.append((time, label))
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (attrs must already be JSON-safe; the detection
+        stack only stores scalars and small lists there)."""
+        return {
+            "sid": self.sid,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+            "marks": [[t, label] for t, label in self.marks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            int(data["sid"]),
+            data["name"],
+            data["start"],
+            node=data.get("node"),
+            parent=data.get("parent"),
+            attrs=dict(data.get("attrs") or {}),
+        )
+        span.end = data.get("end")
+        span.marks = [(t, label) for t, label in data.get("marks", [])]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         who = f"P{self.node}" if self.node is not None else "-"
         return (
@@ -178,6 +206,36 @@ class SpanTracker:
                 f"[{s.start:.2f} → {end:.2f}]{extra}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON wire form (cluster scrapes, flight snapshots)
+    # ------------------------------------------------------------------
+    def to_dicts(self, *, tail: Optional[int] = None) -> List[dict]:
+        """The span table as JSON-safe dicts (optionally only the newest
+        *tail* spans — the flight recorder's bounded ring)."""
+        spans = self.spans if tail is None else self.spans[-tail:]
+        return [span.to_dict() for span in spans]
+
+    @classmethod
+    def from_dicts(cls, rows: List[dict]) -> "SpanTracker":
+        """Rebuild a *read-only* tracker from :meth:`to_dicts` output.
+
+        Sids are preserved verbatim (a snapshot tail need not start at
+        0), so do not :meth:`begin` new spans on the result — key-based
+        lookups are not restored either, only the tree structure."""
+        tracker = cls()
+        tracker.spans = [Span.from_dict(row) for row in rows]
+        return tracker
+
+    def by_sid(self, sid: int) -> Optional[Span]:
+        """Span with the given id, tolerating non-contiguous tables
+        (deserialized snapshots, stitched cluster traces)."""
+        if 0 <= sid < len(self.spans) and self.spans[sid].sid == sid:
+            return self.spans[sid]
+        for span in self.spans:
+            if span.sid == sid:
+                return span
+        return None
 
     def detection_latencies(self) -> List[float]:
         """Per-alarm detection latency (simulated time from the last

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.monitor import ConjunctivePredicate
+from repro.monitor import ConjunctivePredicate, SLOSpec
 
 
 class TestBuilders:
@@ -126,3 +126,43 @@ class TestHeartbeatSpec:
         assert role._heartbeat_cfg == (2.0, pytest.approx(8.4))
         with pytest.raises(ValueError, match="must exceed"):
             DistributedMonitor(graph, phi, heartbeat=(5.0, 3.0))
+
+
+class TestSLOSpec:
+    def test_defaults_disabled(self):
+        spec = SLOSpec()
+        assert not spec.enabled
+        assert spec.as_dict() == {
+            "detection_latency_p99": None,
+            "repair_duration": None,
+            "outbox_depth": None,
+        }
+
+    def test_any_threshold_enables(self):
+        assert SLOSpec(detection_latency_p99=0.5).enabled
+        assert SLOSpec(repair_duration=1.0).enabled
+        assert SLOSpec(outbox_depth=64).enabled
+
+    def test_nonsense_values_rejected(self):
+        import math
+
+        with pytest.raises(ValueError):
+            SLOSpec(detection_latency_p99=0.0)
+        with pytest.raises(ValueError):
+            SLOSpec(detection_latency_p99=-1.0)
+        with pytest.raises(ValueError):
+            SLOSpec(repair_duration=math.inf)
+        with pytest.raises(ValueError):
+            SLOSpec(outbox_depth=0)
+        with pytest.raises(ValueError):
+            SLOSpec(outbox_depth=1.5)
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        spec = SLOSpec(detection_latency_p99=0.25, outbox_depth=128)
+        assert json.loads(json.dumps(spec.as_dict())) == {
+            "detection_latency_p99": 0.25,
+            "repair_duration": None,
+            "outbox_depth": 128,
+        }

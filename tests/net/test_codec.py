@@ -143,3 +143,50 @@ class TestCompression:
             report = _report(lo=[1] * n, hi=[2] * n)
             out = dec.decode(enc.encode(report))
             assert out.interval.lo.tolist() == [1] * n
+
+
+class TestMetaSidecar:
+    """The ``_meta`` frame sidecar: transport-level annotations (span
+    coordinates for cross-node trace stitching) riding on message
+    frames without touching message identity."""
+
+    def test_meta_round_trips(self):
+        tx, rx = FrameCodec(), FrameCodec()
+        frame = tx.encode(_report(), meta={"span": [1, 5]})
+        ((message, meta),) = rx.feed_meta(frame)
+        assert isinstance(message, IntervalReport)
+        assert meta == {"span": [1, 5]}
+
+    def test_absent_meta_decodes_as_none(self):
+        tx, rx = FrameCodec(), FrameCodec()
+        ((_, meta),) = rx.feed_meta(tx.encode(Heartbeat(sender=2)))
+        assert meta is None
+
+    def test_plain_feed_discards_meta(self):
+        tx, rx = FrameCodec(), FrameCodec()
+        (message,) = rx.feed(tx.encode(_report(), meta={"span": [0, 1]}))
+        assert isinstance(message, IntervalReport)
+
+    def test_meta_does_not_change_message_identity(self):
+        tx_a, tx_b = FrameCodec(), FrameCodec()
+        rx_a, rx_b = FrameCodec(), FrameCodec()
+        plain = rx_a.feed(tx_a.encode(_report()))[0]
+        tagged = rx_b.feed(tx_b.encode(_report(), meta={"span": [3, 7]}))[0]
+        assert plain.interval.key() == tagged.interval.key()
+        assert plain.transport_seq == tagged.transport_seq
+
+    def test_meta_frames_reject_meta(self):
+        codec = FrameCodec()
+        with pytest.raises(ValueError):
+            codec.encode({"type": HELLO_TYPE, "node": 1}, meta={"span": [0, 0]})
+
+    def test_meta_survives_compression_chain(self):
+        tx, rx = FrameCodec(), FrameCodec()
+        for seq in range(4):
+            frame = tx.encode(
+                _report(seq=seq, ts=seq, lo=(seq + 1, 0, 0), hi=(seq + 3, 1, 0)),
+                meta={"span": [1, seq]},
+            )
+            ((message, meta),) = rx.feed_meta(frame)
+            assert meta == {"span": [1, seq]}
+            assert message.interval.seq == seq

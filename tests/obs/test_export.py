@@ -7,6 +7,7 @@ import math
 import numpy as np
 
 from repro.obs import (
+    Histogram,
     MetricsRegistry,
     SpanTracker,
     chrome_trace,
@@ -157,3 +158,101 @@ class TestChromeTrace:
         count = write_chrome_trace(_small_tracker(), path)
         document = json.loads(path.read_text())
         assert count == len(document["traceEvents"]) > 0
+
+
+class TestPrometheusHistogramLabels:
+    """Bucket lines must render *every* label a histogram sample
+    carries — with ``le`` last — not just ``le`` itself."""
+
+    class _LabelledHistogram(Histogram):
+        def samples(self):
+            for labels, value in super().samples():
+                yield {"node": 3, **labels}, value
+
+    def test_bucket_lines_keep_non_le_labels(self):
+        registry = MetricsRegistry()
+        histogram = self._LabelledHistogram("h", "Help.", (1.0, 2.0))
+        histogram.observe(0.5)
+        registry._metrics["h"] = histogram
+        text = prometheus_text(registry)
+        assert 'h_bucket{node="3",le="1"} 1' in text
+        assert 'h_bucket{node="3",le="+Inf"} 1' in text
+        # le stays last even for labels sorting after it alphabetically.
+        assert "le=" in text.splitlines()[2].split(",")[-1]
+
+    def test_unlabelled_histograms_render_unchanged(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "", (1.0,)).observe(0.5)
+        text = prometheus_text(registry)
+        assert 'h_bucket{le="1"} 1' in text
+
+
+class TestPrometheusEscaping:
+    """Label values containing quote, backslash and newline characters
+    must escape per the exposition format."""
+
+    def _render(self, value) -> str:
+        registry = MetricsRegistry()
+        vec = registry.counter_vec("m", "", ("what",))
+        vec[value] += 1
+        return prometheus_text(registry)
+
+    def test_double_quote(self):
+        assert r'{what="a \"b\""}' in self._render('a "b"')
+
+    def test_backslash(self):
+        assert r'{what="a\\b"}' in self._render("a\\b")
+
+    def test_newline(self):
+        text = self._render("line1\nline2")
+        assert r'{what="line1\nline2"}' in text
+        # The rendered exposition must stay one sample per line.
+        assert all(
+            line.startswith(("#", "m")) for line in text.splitlines()
+        )
+
+    def test_all_three_combined(self):
+        assert r'{what="q\" s\\ n\n"}' in self._render('q" s\\ n\n')
+
+
+class TestChromeTraceWallClock:
+    def test_wall_time_base_scales_seconds_to_microseconds(self):
+        tracker = SpanTracker()
+        tracker.record("report", 1.5, 2.0, node=1)
+        document = chrome_trace(tracker, time_base="wall")
+        event = next(e for e in document["traceEvents"] if e["ph"] == "X")
+        assert event["ts"] == 1_500_000.0
+        assert event["dur"] == 500_000.0
+
+    def test_sim_base_remains_default(self):
+        tracker = SpanTracker()
+        tracker.record("report", 1.5, 2.0, node=1)
+        event = next(
+            e for e in chrome_trace(tracker)["traceEvents"] if e["ph"] == "X"
+        )
+        assert event["ts"] == 1500.0
+
+    def test_unknown_time_base_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            chrome_trace(SpanTracker(), time_base="lunar")
+
+    def test_wall_round_trip_through_file(self, tmp_path):
+        tracker = SpanTracker()
+        leaf = tracker.record("interval", 0.25, 0.75, node=2, key=("k",))
+        alarm = tracker.record("alarm", 1.0, 1.0, node=0)
+        tracker.adopt(alarm, ("k",))
+        path = tmp_path / "wall.json"
+        count = write_chrome_trace(tracker, path, time_base="wall")
+        document = json.loads(path.read_text())
+        assert count == len(document["traceEvents"])
+        assert document == chrome_trace(tracker, time_base="wall")
+        interval = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "interval"
+        )
+        assert interval["ts"] == 250_000.0 and interval["dur"] == 500_000.0
+        # The causal flow survives the base change.
+        assert any(e["ph"] == "s" for e in document["traceEvents"])

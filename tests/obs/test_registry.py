@@ -237,3 +237,65 @@ class TestPickling:
         rebuilt = pickle.loads(pickle.dumps(vec))
         assert rebuilt.name == "v" and rebuilt.help == "help"
         assert dict(rebuilt) == {"0": 9}
+
+
+class TestWireForm:
+    """to_dict / from_dict — the cluster-scrape JSON round trip."""
+
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "Runs.").inc(3)
+        registry.gauge("depth", "Depth.").set(2.5)
+        vec = registry.counter_vec("sent", "Sent.", ("node", "dir"))
+        vec[(0, "out")] += 4
+        vec[(1, "in")] += 2
+        single = registry.gauge_vec("alpha", "Alpha.", ("level",))
+        single[2] = 0.25
+        histogram = registry.histogram("lat", "Latency.", (1.0, math.inf))
+        histogram.observe(0.5)
+        histogram.observe(7.0)
+        return registry
+
+    def test_round_trip_is_lossless(self):
+        import json
+
+        original = self._populated()
+        payload = json.loads(json.dumps(original.to_dict()))  # over the wire
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.get("runs_total").value == 3
+        assert rebuilt.get("depth").value == 2.5
+        assert rebuilt.get("sent")[(0, "out")] == 4
+        assert rebuilt.get("alpha")[2] == 0.25
+        histogram = rebuilt.get("lat")
+        assert histogram.buckets == (1.0, math.inf)
+        assert histogram.values == (0.5, 7.0)
+        assert histogram.sum == 7.5
+        from repro.obs import prometheus_text
+
+        assert prometheus_text(rebuilt) == prometheus_text(original)
+
+    def test_infinite_edges_travel_as_strings(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "", (1.0, math.inf))
+        entry = registry.to_dict()["metrics"]["h"]
+        assert entry["buckets"] == [1.0, "+Inf"]
+
+    def test_single_label_keys_stay_scalar(self):
+        registry = MetricsRegistry()
+        registry.counter_vec("c", "", ("node",))[7] += 1
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert rebuilt.get("c")[7] == 1
+
+    def test_rebuilt_registry_merges_into_local_one(self):
+        local = self._populated()
+        remote = MetricsRegistry.from_dict(self._populated().to_dict())
+        local.merge(remote)
+        assert local.get("runs_total").value == 6
+        assert local.get("sent")[(0, "out")] == 8
+        assert local.get("lat").count == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_dict(
+                {"metrics": {"x": {"kind": "Sparkline", "value": 1}}}
+            )

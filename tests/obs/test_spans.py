@@ -159,3 +159,47 @@ class TestEndToEndTracing:
                 y.sid, y.name, y.node, y.start, y.end, y.parent
             )
             assert x.marks == y.marks
+
+
+class TestWireForm:
+    """to_dicts / from_dicts — the scrape and flight-snapshot forms."""
+
+    def _tracker(self) -> SpanTracker:
+        tracker = SpanTracker()
+        leaf = tracker.record(
+            "interval", 1.0, 2.0, node=3, key=("ivl", 3), owner=3
+        )
+        leaf.mark(1.5, "enqueued@P3")
+        alarm = tracker.record("alarm", 4.0, 4.0, node=0, latency=2.0)
+        tracker.adopt(alarm, ("ivl", 3))
+        return tracker
+
+    def test_round_trip_preserves_structure(self):
+        import json
+
+        tracker = self._tracker()
+        rows = json.loads(json.dumps(tracker.to_dicts()))
+        rebuilt = SpanTracker.from_dicts(rows)
+        assert len(rebuilt) == 2
+        leaf, alarm = rebuilt.spans
+        assert leaf.name == "interval" and leaf.parent == alarm.sid
+        assert leaf.marks == [(1.5, "enqueued@P3")]
+        assert alarm.attrs["latency"] == 2.0
+        assert rebuilt.render_tree(alarm) == tracker.render_tree(
+            tracker.spans[1]
+        )
+
+    def test_tail_keeps_only_newest(self):
+        tracker = SpanTracker()
+        for i in range(5):
+            tracker.record("interval", float(i), float(i), node=0)
+        rows = tracker.to_dicts(tail=2)
+        assert [row["sid"] for row in rows] == [3, 4]
+
+    def test_by_sid_tolerates_non_contiguous_tables(self):
+        tracker = self._tracker()
+        rebuilt = SpanTracker.from_dicts(tracker.to_dicts(tail=1))
+        # Only the alarm (sid 1) survived the tail cut.
+        assert rebuilt.by_sid(1).name == "alarm"
+        assert rebuilt.by_sid(0) is None
+        assert rebuilt.by_sid(99) is None

@@ -164,3 +164,76 @@ class TestLifecycleNarration:
         )
         partitioned = {r.node for r in result.sim.log.of_kind("partitioned")}
         assert partitioned == {3, 4}
+
+
+class TestRingBufferEdges:
+    """Boundary and eviction edge cases of the bounded log."""
+
+    def test_between_includes_exact_boundary_timestamps(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.emit(t, "tick")
+        assert [r.time for r in log.between(2.0, 3.0)] == [2.0, 3.0]
+        # Degenerate window: start == end == an exact emit time.
+        assert [r.time for r in log.between(3.0, 3.0)] == [3.0]
+        # Window entirely between two emit times is empty.
+        assert log.between(2.5, 2.75) == []
+
+    def test_between_boundaries_with_duplicate_times(self):
+        log = EventLog()
+        for kind in ("a", "b", "c"):
+            log.emit(5.0, kind)
+        assert [r.kind for r in log.between(5.0, 5.0)] == ["a", "b", "c"]
+
+    def test_between_boundaries_survive_unsorted_emits(self):
+        log = EventLog()
+        log.emit(3.0, "late")
+        log.emit(1.0, "early")  # out of order: bisect path must bail
+        log.emit(2.0, "mid")
+        assert {r.kind for r in log.between(1.0, 2.0)} == {"early", "mid"}
+
+    def test_between_boundaries_when_bounded(self):
+        log = EventLog(capacity=3)
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            log.emit(t, "tick")
+        # 1.0 and 2.0 were evicted; boundaries on the survivors hold.
+        assert [r.time for r in log.between(3.0, 5.0)] == [3.0, 4.0, 5.0]
+        assert [r.time for r in log.between(3.0, 3.0)] == [3.0]
+        assert log.between(1.0, 2.0) == []
+
+    def test_subscribers_fire_during_capacity_overflow_eviction(self):
+        log = EventLog(capacity=2)
+        seen = []
+        states = []
+        log.subscribe(
+            None,
+            lambda record: (
+                seen.append(record.kind),
+                # The log's invariants must already hold when the
+                # callback observes it mid-eviction.
+                states.append((len(log), log.dropped)),
+            ),
+        )
+        for kind in ("a", "b", "c", "d"):
+            log.emit(0.0, kind)
+        assert seen == ["a", "b", "c", "d"]  # no record skipped
+        assert states == [(1, 0), (2, 0), (2, 1), (2, 2)]
+        assert [r.kind for r in log.records] == ["c", "d"]
+        # Kind index stayed consistent with the ring.
+        assert log.of_kind("a") == [] and len(log.of_kind("d")) == 1
+
+    def test_subscriber_can_unsubscribe_while_ring_is_evicting(self):
+        log = EventLog(capacity=1)
+        seen = []
+        unsubscribe = None
+
+        def callback(record):
+            seen.append(record.kind)
+            if record.kind == "b":
+                unsubscribe()
+
+        unsubscribe = log.subscribe(None, callback)
+        for kind in ("a", "b", "c"):
+            log.emit(0.0, kind)
+        assert seen == ["a", "b"]
+        assert [r.kind for r in log.records] == ["c"]

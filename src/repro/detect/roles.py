@@ -21,7 +21,7 @@ numbers, which restart on every (re-)attachment epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..intervals import Interval, ReorderBuffer
 from ..obs.spans import interval_key
@@ -147,6 +147,17 @@ class HierarchicalRole:
             "analysis; engine-independent).",
             ("level",),
         )
+        # Bound increment handles: label keys resolve once here instead
+        # of on every event.  The per-offer counters (enqueued, pruned)
+        # are folded in batches from the span tracker's pending queue —
+        # the observer itself does no metric work (see _fold_counts).
+        pid = process.pid
+        self._h_enqueued = self._c_enqueued.handle(pid)
+        self._h_reports = self._c_reports.handle(pid)
+        self._h_alarms = self._c_alarms.handle(pid)
+        self._h_pruned: Dict[str, Callable[..., None]] = {}
+        self._mark = self._telemetry.spans.mark_interval
+        self._telemetry.spans.on_flush(pid, self._fold_counts)
         self.core = HierarchicalNodeCore(
             process.pid,
             self._init_children,
@@ -203,18 +214,34 @@ class HierarchicalRole:
     # telemetry (spans + counters; see repro.obs)
     # ------------------------------------------------------------------
     def _observe_core(self, event: str, key, interval: Interval) -> None:
-        """Core lifecycle hook: stamp span marks and per-node counters."""
-        pid = self.process.pid
-        span = self._telemetry.spans.get(interval_key(interval))
-        now = self.process.sim.now
-        if event == "enqueue":
-            self._c_enqueued[pid] += 1
-            if span is not None:
-                span.mark(now, f"enqueued@P{pid}")
-        else:
-            self._c_pruned[(pid, event)] += 1
-            if span is not None:
-                span.mark(now, f"{event}@P{pid}")
+        """Core lifecycle hook: enqueue one span mark and nothing else.
+
+        This runs ~2× per offered interval, inside the loop the
+        telemetry measures.  The mark entry doubles as the counting
+        record — per-node enqueued/pruned counters are derived from the
+        queued marks when the tracker folds (see :meth:`_fold_counts`),
+        so the hot path is a single bounded append."""
+        self._mark(
+            interval,
+            self.process.sim.now,
+            "enqueued" if event == "enqueue" else event,
+            self.process.pid,
+        )
+
+    def _fold_counts(self, counts: Dict) -> None:
+        """Batch counter fold, called by the span tracker per queue
+        flush with this node's ``{event_or_None: count}``.  ``None``
+        keys are completed-interval records (counted by the process);
+        prune reasons arrive verbatim from the core observer."""
+        for event, amount in counts.items():
+            if event == "enqueued":
+                self._h_enqueued(amount)
+            elif event is not None and event.startswith("prune"):
+                handle = self._h_pruned.get(event)
+                if handle is None:
+                    pid = self.process.pid
+                    handle = self._h_pruned[event] = self._c_pruned.handle((pid, event))
+                handle(amount)
 
     def _count_pair_tests(self, count: int) -> None:
         """Per-activation flush from the core (see ``on_pair_tests``)."""
@@ -252,7 +279,7 @@ class HierarchicalRole:
                 self._record_detection(emission.solution, emission.aggregate)
             else:
                 self._record_report_span(emission.aggregate)
-                self._c_reports[self.process.pid] += 1
+                self._h_reports()
                 self._report(emission.aggregate)
 
     def _record_detection(self, solution: Solution, aggregate: Interval) -> None:
@@ -302,7 +329,7 @@ class HierarchicalRole:
             latency=latency,
             **self._span_attrs(),
         )
-        self._c_alarms[self.process.pid] += 1
+        self._h_alarms()
         aggregate = record.aggregate
         if aggregate is not None:
             # A pending aggregate announced after promotion already has

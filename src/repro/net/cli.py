@@ -17,6 +17,9 @@ Subcommands:
   (:mod:`repro.obs.cluster`) and print the live cluster status table
   (per-node alarms/reports, realized α by level, reconnects, outbox
   depths); ``--interval`` re-polls until interrupted.
+* ``profile`` — fetch a running cluster's continuous-profiler state
+  (armed by ``run --profile``): the JSON summary, or ``--collapsed``
+  flamegraph stacks ready for speedscope / ``flamegraph.pl``.
 * ``postmortem`` — reconstruct the crash → repair → recovery timeline
   from a directory of flight-recorder snapshots
   (:mod:`repro.obs.flight`), as written by ``run --flight-dir``.
@@ -64,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=4, help="reference-workload epochs (default 4)"
     )
     shape.add_argument(
+        "--sync-prob",
+        type=float,
+        default=1.0,
+        help="probability an epoch is a global occurrence (default 1.0; "
+        "rates < 1 mix in intervals that never join a solution)",
+    )
+    shape.add_argument(
         "--interval-spacing",
         type=float,
         default=0.02,
@@ -100,6 +110,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the kill once this many detections have fired (default 1)",
     )
     obs = run.add_argument_group("observability")
+    obs.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sample span traces at this rate per node (default 1.0: keep all)",
+    )
+    obs.add_argument(
+        "--span-capacity",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="bound each node's span table to a ring of ROWS (default: unbounded)",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="run a continuous stack-sampling profiler over the cluster loop",
+    )
+    obs.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="seconds between profiler samples (default 0.005)",
+    )
     obs.add_argument(
         "--flight-dir",
         metavar="DIR",
@@ -149,10 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
     watch = sub.add_parser(
         "watch", help="scrape + merge a running cluster's telemetry"
     )
-    for sp in (status, kill, watch):
+    profile = sub.add_parser(
+        "profile", help="fetch a running cluster's continuous-profiler state"
+    )
+    for sp in (status, kill, watch, profile):
         sp.add_argument("--host", default="127.0.0.1")
         sp.add_argument("--admin-port", type=int, required=True)
     kill.add_argument("--node", type=int, required=True)
+    profile.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="print collapsed flamegraph stacks instead of the JSON summary",
+    )
     watch.add_argument(
         "--interval",
         type=float,
@@ -196,11 +239,16 @@ async def _run_cluster(args) -> dict:
         seed=args.seed,
         transport=args.transport,
         epochs=args.epochs,
+        sync_prob=args.sync_prob,
         interval_spacing=args.interval_spacing,
         admin_port=args.admin_port,
         flight_dir=args.flight_dir,
         flight_capacity=args.flight_capacity,
         slo=slo if slo.enabled else None,
+        sample_rate=args.sample_rate,
+        span_capacity=args.span_capacity,
+        profile=args.profile,
+        profile_interval=args.profile_interval,
     )
     cluster = LocalCluster(spec)
     summary: dict = {"spec": {"nodes": spec.nodes, "degree": spec.degree,
@@ -265,6 +313,31 @@ async def _run_cluster(args) -> dict:
         slo_breaches=len(cluster.log.of_kind("slo_breach")),
         uptime=round(cluster.clock.now, 3),
     )
+    # Sampling accounting + per-alarm trace completeness, so a sampled
+    # run can be asserted on ("the kill's alarm still explains down to
+    # leaf intervals") without re-scraping.
+    span_stats = [
+        scope.telemetry.spans.stats()
+        for _, scope in sorted(cluster.scopes.items())
+    ]
+    recorded = sum(s["recorded"] for s in span_stats)
+    exported = sum(s["materialized"] for s in span_stats)
+    summary["sample_rate"] = spec.sample_rate
+    summary["spans_recorded"] = recorded
+    summary["spans_exported"] = exported
+    summary["sampled_fraction"] = (
+        round(exported / recorded, 4) if recorded else 1.0
+    )
+    summary["alarm_leaf_intervals"] = [
+        sum(1 for _, s in view.spans.walk(alarm) if s.name == "interval")
+        for alarm in view.cross_node_alarms()[:16]
+    ]
+    if cluster.profiler is not None:
+        summary["profiler"] = {
+            "samples": cluster.profiler.samples,
+            "unique_stacks": len(cluster.profiler.stacks),
+            "interval": cluster.profiler.interval,
+        }
     if args.flight_dir:
         summary["flight_snapshots"] = sum(
             len(recorder.snapshots)
@@ -367,6 +440,36 @@ def _cmd_watch(args) -> int:
         return 0
 
 
+def _cmd_profile(args) -> int:
+    try:
+        response = asyncio.run(
+            _admin_request(args.host, args.admin_port, {"cmd": "profile"})
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-cluster: cannot reach admin endpoint: {exc}", file=sys.stderr)
+        return 1
+    if not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 1
+    profile = response.get("profile")
+    if profile is None:
+        print(
+            "repro-cluster: cluster is not profiling "
+            f"(launch with --profile; available={response.get('available')})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.collapsed:
+        for stack, count in sorted(
+            (profile.get("stacks") or {}).items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"{stack} {count}")
+        return 0
+    print(json.dumps({k: v for k, v in profile.items() if k != "stacks"},
+                     indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_postmortem(args) -> int:
     from ..obs.flight import postmortem, render_postmortem
 
@@ -398,6 +501,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_admin(args, {"cmd": "kill-node", "node": args.node})
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "postmortem":
         return _cmd_postmortem(args)
     raise SystemExit(2)

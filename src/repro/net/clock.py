@@ -119,10 +119,25 @@ class AsyncClock:
         self.log.emit(self.now, kind, node, **fields)
 
     # ------------------------------------------------------------------
-    def scope(self, node: int, *, log_capacity: Optional[int] = 65536) -> "ClockScope":
+    def scope(
+        self,
+        node: int,
+        *,
+        log_capacity: Optional[int] = 65536,
+        sampler=None,
+        span_capacity: Optional[int] = None,
+    ) -> "ClockScope":
         """A per-node telemetry island over this clock (see
-        :class:`ClockScope`)."""
-        return ClockScope(self, node, log_capacity=log_capacity)
+        :class:`ClockScope`).  ``sampler`` and ``span_capacity``
+        configure the island's span tracker — the always-on deployment
+        shape pairs head sampling with a bounded span ring."""
+        return ClockScope(
+            self,
+            node,
+            log_capacity=log_capacity,
+            sampler=sampler,
+            span_capacity=span_capacity,
+        )
 
 
 class ClockScope:
@@ -143,11 +158,13 @@ class ClockScope:
         node: int,
         *,
         log_capacity: Optional[int] = 65536,
+        sampler=None,
+        span_capacity: Optional[int] = None,
     ) -> None:
         self.parent = parent
         self.node = node
         self.seed = parent.seed
-        self.telemetry = Telemetry()
+        self.telemetry = Telemetry(sampler=sampler, span_capacity=span_capacity)
         self.log = EventLog(capacity=log_capacity)
 
     # -- delegated surface ---------------------------------------------

@@ -62,6 +62,8 @@ from ..monitor.spec import HeartbeatSpec, SLOSpec
 from ..obs.cluster import ClusterView, TelemetryAggregator, scrape_local
 from ..obs.export import _jsonable
 from ..obs.flight import FlightRecorder
+from ..obs.profile import SamplingProfiler
+from ..obs.sampling import TraceSampler
 from ..topology.spanning_tree import SpanningTree
 from .clock import AsyncClock, ClockScope
 from .codec import FrameCodec
@@ -95,6 +97,11 @@ class ClusterSpec:
     include_parts: bool = True
     #: reference-workload epochs (per-node interval count driver)
     epochs: int = 4
+    #: probability an epoch is a global occurrence (a detection); the
+    #: default 1.0 keeps every kill test observable, while rates < 1
+    #: produce intervals that never join a solution — the workload a
+    #: sampled cluster needs for head drops to actually show up
+    sync_prob: float = 1.0
     #: wall seconds between consecutive offers of one node's stream
     interval_spacing: float = 0.02
     #: wall seconds between cluster start and the first offer
@@ -109,6 +116,20 @@ class ClusterSpec:
     slo: Optional[SLOSpec] = None
     #: wall seconds between SLO watchdog checks
     slo_check_interval: float = 0.5
+    #: head-sampling rate for every node's span tracker; 1.0 keeps
+    #: every span (no sampler installed — trace tables byte-identical
+    #: to pre-sampling clusters)
+    sample_rate: float = 1.0
+    #: per-node overrides of ``sample_rate`` (``{pid: rate}``) — e.g.
+    #: trace a suspect node fully while the fleet samples at 10%
+    node_sample_rates: Optional[Dict[int, float]] = None
+    #: bounded span-ring size per node (None = unbounded)
+    span_capacity: Optional[int] = None
+    #: run a continuous :class:`~repro.obs.profile.SamplingProfiler`
+    #: over the cluster loop (``repro-cluster profile`` scrapes it)
+    profile: bool = False
+    #: seconds between profiler stack samples
+    profile_interval: float = 0.005
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -121,6 +142,19 @@ class ClusterSpec:
             raise ValueError("flight_capacity must be >= 1")
         if self.slo_check_interval <= 0:
             raise ValueError("slo_check_interval must be positive")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if not 0.0 <= self.sync_prob <= 1.0:
+            raise ValueError("sync_prob must be in [0, 1]")
+        for pid, rate in (self.node_sample_rates or {}).items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"node_sample_rates[{pid}] must be in [0, 1], got {rate}"
+                )
+        if self.span_capacity is not None and self.span_capacity < 1:
+            raise ValueError("span_capacity must be >= 1")
+        if self.profile_interval <= 0:
+            raise ValueError("profile_interval must be positive")
 
     def tree(self) -> SpanningTree:
         """Breadth-first ``degree``-ary tree over ``nodes`` nodes."""
@@ -211,6 +245,18 @@ class LocalCluster:
         self.flight_recorders: Dict[str, FlightRecorder] = {}
         self._slo_handle: Optional[object] = None
         self._slo_latched: set = set()
+        self.profiler: Optional[SamplingProfiler] = None
+
+    def _sampler_for(self, pid: int) -> Optional[TraceSampler]:
+        """The node's head sampler — ``None`` at rate 1.0 (keep all).
+        All samplers share the cluster seed, so every node reaches the
+        same decision for the same artifact key (what makes sampled
+        cross-node traces stitchable)."""
+        rates = self.spec.node_sample_rates or {}
+        rate = rates.get(pid, self.spec.sample_rate)
+        if rate >= 1.0:
+            return None
+        return TraceSampler(rate, seed=self.spec.seed)
 
     # ------------------------------------------------------------------
     @property
@@ -248,14 +294,21 @@ class LocalCluster:
         self._started = True
         if self.script is None:
             self.script = simulation_script(
-                self.tree, seed=self.spec.seed, epochs=self.spec.epochs
+                self.tree,
+                seed=self.spec.seed,
+                epochs=self.spec.epochs,
+                sync_prob=self.spec.sync_prob,
             )
 
         transports: Dict[int, object] = {}
         for pid in self.tree.nodes:
             # Each node records into its own telemetry island — the
             # deployment-realistic shape the observability plane scrapes.
-            scope = self.clock.scope(pid)
+            scope = self.clock.scope(
+                pid,
+                sampler=self._sampler_for(pid),
+                span_capacity=self.spec.span_capacity,
+            )
             self.scopes[pid] = scope
             if self._hub is not None:
                 transport = LoopbackTransport(
@@ -288,6 +341,14 @@ class LocalCluster:
             addresses = {pid: t.address for pid, t in transports.items()}
             for transport in transports.values():
                 transport.set_peers(addresses)
+
+        if self.spec.profile and SamplingProfiler.available():
+            # One profiler covers the whole cluster: every node shares
+            # this asyncio loop, so one stack sampler sees them all.
+            self.profiler = SamplingProfiler(self.spec.profile_interval)
+            self.profiler.start()
+            for runtime in self.runtimes.values():
+                runtime.profiler = self.profiler
 
         for runtime in self.runtimes.values():
             runtime.activate()
@@ -392,6 +453,8 @@ class LocalCluster:
             self._admin_server.close()
             await self._admin_server.wait_closed()
             self._admin_server = None
+        if self.profiler is not None:
+            self.profiler.stop()
         for runtime in self.runtimes.values():
             await runtime.shutdown()
         self.clock.emit("cluster_stopped", detections=len(self.detections))
@@ -549,6 +612,14 @@ class LocalCluster:
             return {"ok": True, **self._spans_payload()}
         if cmd == "eventlog":
             return {"ok": True, **self._eventlog_payload()}
+        if cmd == "profile":
+            return {
+                "ok": True,
+                "available": SamplingProfiler.available(),
+                "profile": (
+                    self.profiler.to_dict() if self.profiler is not None else None
+                ),
+            }
         if cmd == "kill-node":
             pid = int(request["node"])
             if pid not in self.runtimes:

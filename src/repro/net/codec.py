@@ -81,6 +81,12 @@ class FrameCodec:
         Hard bound on body size; oversized frames fail loudly on encode
         and poison the stream on decode (the transport drops the
         connection).
+    max_meta:
+        Hard bound on the serialized ``_meta`` sidecar.  The sidecar is
+        a forward-compatible extension point — decoders tolerate keys
+        they do not understand — so its size must be bounded
+        independently of the body: an oversized (or non-object) sidecar
+        poisons the frame exactly like an oversized body.
     """
 
     def __init__(
@@ -89,10 +95,12 @@ class FrameCodec:
         include_parts: bool = True,
         compress: bool = True,
         max_frame: int = 8 * 1024 * 1024,
+        max_meta: int = 64 * 1024,
     ) -> None:
         self.include_parts = include_parts
         self.compress = compress
         self.max_frame = max_frame
+        self.max_meta = max_meta
         #: chosen-scheme counts (encoder side), for tests and benches
         self.encodings: Counter = Counter()
         self._enc_ref: List[Optional[np.ndarray]] = [None, None]  # lo, hi
@@ -123,6 +131,7 @@ class FrameCodec:
             if self.compress and data["type"] == "IntervalReport":
                 self._compress_interval(data["interval"])
             if meta is not None:
+                self._check_meta(meta)
                 data["_meta"] = meta
         body = json.dumps(data, separators=(",", ":")).encode("utf-8")
         if len(body) > self.max_frame:
@@ -131,6 +140,24 @@ class FrameCodec:
                 f"({self.max_frame})"
             )
         return _HEADER.pack(len(body)) + body
+
+    def _check_meta(self, meta) -> None:
+        """Validate a ``_meta`` sidecar on either side of the wire.
+
+        Only the *shape* (a JSON object) and *size* are checked — never
+        the keys, so newer peers may attach sidecar fields older peers
+        simply ignore."""
+        if not isinstance(meta, dict):
+            raise ValueError(
+                f"frame _meta sidecar must be a JSON object, got "
+                f"{type(meta).__name__}"
+            )
+        size = len(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
+        if size > self.max_meta:
+            raise ValueError(
+                f"frame _meta sidecar of {size} bytes exceeds max_meta "
+                f"({self.max_meta})"
+            )
 
     def _compress_interval(self, data: dict) -> None:
         """Replace the top-level ``lo``/``hi`` lists with tagged encoded
@@ -196,6 +223,8 @@ class FrameCodec:
         if kind.startswith("__"):
             return data, None
         meta = data.pop("_meta", None)
+        if meta is not None:
+            self._check_meta(meta)
         if kind == "IntervalReport":
             self._decompress_interval(data["interval"])
         return message_from_dict(data), meta

@@ -82,16 +82,29 @@ class NodeRuntime:
         self.sim = clock  # the role-facing name for the clock handle
         self.transport = transport
         self.alive = True
-        self._interval_counter = clock.telemetry.registry.counter_vec(
+        #: Optional :class:`~repro.obs.profile.SamplingProfiler` the
+        #: cluster attaches when launched with profiling enabled; the
+        #: ``profile`` admin command reads it back.
+        self.profiler = None
+        self._count_interval = clock.telemetry.registry.counter_handle(
             "repro_intervals_total",
             "Local intervals produced, per node.",
             ("node",),
+            key=node_id,
         )
-        self._stale_counter = clock.telemetry.registry.counter_vec(
+        # Folded in batches from the span queue (``None`` = record entry).
+        clock.telemetry.spans.on_flush(
+            node_id,
+            lambda counts, _inc=self._count_interval: (
+                counts.get(None) and _inc(counts[None])
+            ),
+        )
+        self._count_stale = clock.telemetry.registry.counter_handle(
             "repro_net_stale_frames_total",
             "Redelivered (stale/duplicate) frames rejected by reorder "
             "buffers after reconnects.",
             ("node",),
+            key=node_id,
         )
         self.role = HierarchicalRole(
             parent,
@@ -115,13 +128,21 @@ class NodeRuntime:
 
     def _span_meta(self, message: object) -> Optional[dict]:
         """Frame sidecar for trace stitching: the local span coordinates
-        of an outbound report's aggregate (see module docstring)."""
+        of an outbound report's aggregate (see module docstring), plus
+        the sender's head-sampling decision for that artifact so the
+        receiving hop honors it (decoders ignore keys they don't know —
+        the sidecar is the protocol's forward-compatible slot)."""
         if not isinstance(message, IntervalReport):
             return None
-        span = self.sim.telemetry.spans.get(interval_key(message.interval))
+        spans = self.sim.telemetry.spans
+        key = interval_key(message.interval)
+        span = spans.get(key)
         if span is None:
             return None
-        return {"span": [self.pid, span.sid]}
+        return {
+            "span": [self.pid, span.sid],
+            "sampled": spans.head_decision(key),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -161,16 +182,12 @@ class NodeRuntime:
         if not self.alive:
             return
         now = self.sim.now
-        self.sim.telemetry.spans.record(
-            "interval",
+        self.sim.telemetry.spans.record_interval(
+            interval,
             opened_at if opened_at is not None else now,
             now,
-            node=self.pid,
-            key=interval_key(interval),
-            owner=interval.owner,
-            seq=interval.seq,
+            self.pid,
         )
-        self._interval_counter[self.pid] += 1
         self.role.on_local_interval(interval)
 
     # ------------------------------------------------------------------
@@ -186,7 +203,7 @@ class NodeRuntime:
         except ValueError as exc:
             # Reorder buffers reject replayed transport_seqs after a
             # reconnect — that's the at-least-once tax, not a fault.
-            self._stale_counter[self.pid] += 1
+            self._count_stale()
             self.sim.emit(
                 "net_stale_frame", node=self.pid, src=src, error=str(exc)
             )
@@ -206,12 +223,14 @@ class NodeRuntime:
         if spans.get(key) is not None:
             return
         now = self.sim.now
+        sampled = meta.get("sampled")
         spans.record(
             "hop",
             now,
             now,
             node=self.pid,
             key=key,
+            sampled=None if sampled is None else bool(sampled),
             src=src,
             remote_node=int(remote[0]),
             remote_sid=int(remote[1]),

@@ -55,16 +55,20 @@ def simulation_script(
     *,
     seed: int = 1,
     epochs: int = 4,
+    sync_prob: float = 1.0,
     config: Optional[EpochConfig] = None,
 ) -> IntervalScript:
     """Run the epoch workload in the simulator and capture per-node
     interval streams plus the reference detections.
 
-    The default config forces ``sync_prob=1.0`` (every epoch is a
-    global occurrence), so detections keep coming even after a subtree
-    is killed — which is what the kill tests need to observe.
+    The default ``sync_prob=1.0`` makes every epoch a global
+    occurrence, so detections keep coming even after a subtree is
+    killed — which is what the kill tests need to observe.  Rates < 1
+    mix in epochs whose intervals never join any solution; sampled
+    clusters use that to exercise real head drops (an always-matching
+    workload promotes every span via trace adoption).
     """
-    config = config or EpochConfig(epochs=epochs, sync_prob=1.0)
+    config = config or EpochConfig(epochs=epochs, sync_prob=sync_prob)
     result = run_hierarchical(tree, seed=seed, config=config)
     script = IntervalScript(tree=tree, seed=seed, reference=list(result.detections))
     for pid, intervals in sorted(result.trace.all_intervals().items()):

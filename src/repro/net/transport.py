@@ -152,15 +152,32 @@ class _Instruments:
             "Wall seconds from enqueue to successful socket write.",
             SEND_LATENCY_BUCKETS,
         )
+        # Per-frame accounting runs once per message on the wire, so
+        # label keys are resolved once and the bound handles cached.
+        self._frame_handles: Dict[tuple, Callable[..., None]] = {}
+        self._byte_handles: Dict[tuple, Callable[..., None]] = {}
+
+    def _frame_handle(self, key: tuple) -> Callable[..., None]:
+        handle = self._frame_handles.get(key)
+        if handle is None:
+            handle = self._frame_handles[key] = self.frames.handle(key)
+        return handle
+
+    def _byte_handle(self, vec, node: int, direction: str) -> Callable[..., None]:
+        cache_key = (node, direction)
+        handle = self._byte_handles.get(cache_key)
+        if handle is None:
+            handle = self._byte_handles[cache_key] = vec.handle(node)
+        return handle
 
     def sent(self, node: int, message: object, nbytes: int) -> None:
-        self.bytes_sent[node] += nbytes
-        self.frames[(node, "out", type(message).__name__)] += 1
+        self._byte_handle(self.bytes_sent, node, "out")(nbytes)
+        self._frame_handle((node, "out", type(message).__name__))()
 
     def received(self, node: int, message: object, nbytes: int = 0) -> None:
         if nbytes:
-            self.bytes_received[node] += nbytes
-        self.frames[(node, "in", type(message).__name__)] += 1
+            self._byte_handle(self.bytes_received, node, "in")(nbytes)
+        self._frame_handle((node, "in", type(message).__name__))()
 
 
 # ----------------------------------------------------------------------

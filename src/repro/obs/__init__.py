@@ -39,6 +39,7 @@ from .flight import (
     reconstruct_timeline,
     render_postmortem,
 )
+from .profile import ProfileSection, SamplingProfiler, profile_block
 from .registry import (
     DEFAULT_BUCKETS,
     CounterMetric,
@@ -48,6 +49,7 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
+from .sampling import DEFAULT_SAMPLE_RATE, TraceSampler
 from .spans import Span, SpanTracker, interval_key
 from .telemetry import LATENCY_BUCKETS, Telemetry
 
@@ -58,6 +60,7 @@ __all__ = [
     "CounterMetric",
     "CounterVec",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SAMPLE_RATE",
     "FlightRecorder",
     "FlightSnapshot",
     "Gauge",
@@ -66,13 +69,17 @@ __all__ = [
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NodeScrape",
+    "ProfileSection",
+    "SamplingProfiler",
     "Span",
     "SpanTracker",
     "Telemetry",
     "TelemetryAggregator",
+    "TraceSampler",
     "chrome_trace",
     "eventlog_to_jsonl",
     "interval_key",
+    "profile_block",
     "load_snapshot",
     "load_snapshots",
     "postmortem",

@@ -217,21 +217,23 @@ class TelemetryAggregator:
         the stitcher joins on."""
         tracker = SpanTracker()
         mapping: Dict[Tuple[int, int], int] = {}
-        originals: List[Tuple[int, dict]] = []
+        imported: List[Tuple[Span, int, dict]] = []
+        new_sid = 0
         for pid in sorted(scrape.nodes):
             for row in scrape.nodes[pid].spans:
-                new_sid = len(tracker.spans)
                 mapping[(pid, int(row["sid"]))] = new_sid
-                span = Span.from_dict({**row, "sid": new_sid, "parent": None})
-                tracker.spans.append(span)
-                originals.append((pid, row))
+                span = tracker.append_imported(row, sid=new_sid)
+                imported.append((span, pid, row))
+                new_sid += 1
         # Second pass: remap intra-node parent links (a parent's sid can
         # exceed its child's — alarms adopt earlier spans — so links can
         # only be resolved once the whole node table is loaded).
-        for span, (pid, row) in zip(tracker.spans, originals):
+        for span, pid, row in imported:
             parent = row.get("parent")
             if parent is not None:
-                span.parent = mapping.get((pid, int(parent)))
+                remapped = mapping.get((pid, int(parent)))
+                if remapped is not None:
+                    tracker.reparent(span, remapped)
         return tracker, mapping
 
     @staticmethod
@@ -254,10 +256,10 @@ class TelemetryAggregator:
             ) else None
             if target_sid is None:
                 continue
-            target = tracker.spans[target_sid]
-            if target.parent is None and target is not span:
-                target.parent = span.sid
-                stitched += 1
+            target = tracker.by_sid(target_sid)
+            if target is not None and target is not span:
+                if tracker.reparent(target, span.sid):
+                    stitched += 1
         return stitched
 
     # -- events --------------------------------------------------------

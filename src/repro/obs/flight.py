@@ -161,12 +161,21 @@ class FlightRecorder:
                 )
             )
         if self.spans is not None:
+            # Content-hash dedup: a snapshot taken while the tracker's
+            # ring is mid-eviction (or over a stitched/merged table) may
+            # surface the same span twice or a torn row missing its
+            # identity fields — neither belongs in a postmortem file.
+            seen_spans = set()
             for row in self.spans.to_dicts(tail=self.capacity):
-                lines.append(
-                    json.dumps(
-                        {"record": "span", **_jsonable(row)}, sort_keys=True
-                    )
+                if row.get("sid") is None or not row.get("name"):
+                    continue
+                line = json.dumps(
+                    {"record": "span", **_jsonable(row)}, sort_keys=True
                 )
+                if line in seen_spans:
+                    continue
+                seen_spans.add(line)
+                lines.append(line)
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
         self._snapshots.append(path)
         return path

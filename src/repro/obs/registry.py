@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, insort
 from collections import Counter as _Counter
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CounterMetric",
@@ -149,7 +149,8 @@ class CounterVec(_VecMixin, _Counter):
     """A labelled counter: a ``Counter`` whose keys are label values.
 
     Hot paths use plain Counter syntax — ``vec[("control", "Heartbeat")]
-    += 1`` or, for a single-label vec, ``vec[pid] += 1``.
+    += 1`` or, for a single-label vec, ``vec[pid] += 1`` — or, when the
+    label values are known up front, a pre-resolved :meth:`handle`.
     """
 
     kind = "counter"
@@ -159,6 +160,22 @@ class CounterVec(_VecMixin, _Counter):
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+
+    def handle(self, key: LabelKey):
+        """A bound increment callable for one label-value key.
+
+        Instrumented hot paths resolve their labels once (at bind time)
+        instead of building and hashing the key tuple per call::
+
+            h = vec.handle((pid, "enqueue"))
+            ...
+            h()        # vec[(pid, "enqueue")] += 1
+            h(amount)  # vec[(pid, "enqueue")] += amount
+        """
+        def inc(amount: float = 1, _vec=self, _key=key) -> None:
+            _vec[_key] = _vec[_key] + amount
+
+        return inc
 
     def merge(self, other: "CounterVec") -> None:
         for key, value in other.items():
@@ -287,12 +304,34 @@ Metric = Union[CounterMetric, Gauge, Histogram, CounterVec, GaugeVec]
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create registration."""
+    """Named metrics with get-or-create registration.
+
+    Some counters are folded lazily from batched telemetry queues (see
+    :meth:`~repro.obs.spans.SpanTracker.on_flush`); *flush hooks* let
+    those sources drain before any read, so ``get``/``metrics``/
+    pickling always observe up-to-date values."""
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._flush_hooks: List[Callable[[], None]] = []
+
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook* before reads; hooks must be idempotent."""
+        self._flush_hooks.append(hook)
+
+    def _flush(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
+    def __getstate__(self) -> dict:
+        # Hooks are closures over live telemetry objects — drain them,
+        # then drop them from the pickle (shard workers ship their
+        # registry back to the driver by value).
+        self._flush()
+        return {"_metrics": self._metrics, "_flush_hooks": []}
 
     def _get_or_create(self, name: str, cls, *args) -> Metric:
+        self._flush()  # callers may read the returned metric directly
         metric = self._metrics.get(name)
         if metric is not None:
             if not isinstance(metric, cls):
@@ -327,6 +366,34 @@ class MetricsRegistry:
     ) -> GaugeVec:
         return self._get_or_create(name, GaugeVec, help, labelnames)
 
+    def counter_handle(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        key: Optional[LabelKey] = None,
+    ):
+        """Get-or-create a counter and return a bound increment callable.
+
+        With ``labelnames`` (and ``key``) this is
+        ``counter_vec(...).handle(key)``; without labels it binds the
+        scalar counter's :meth:`CounterMetric.inc`.  Either way the hot
+        path holds one callable and pays no per-call label handling.
+        """
+        if labelnames:
+            if key is None:
+                raise ValueError(
+                    f"metric {name!r}: counter_handle needs a label key "
+                    f"for labelnames {tuple(labelnames)}"
+                )
+            return self.counter_vec(name, help, labelnames).handle(key)
+        if key is not None:
+            raise ValueError(
+                f"metric {name!r}: key given but no labelnames declared"
+            )
+        return self.counter(name, help).inc
+
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold every metric of *other* into this registry.
@@ -340,6 +407,8 @@ class MetricsRegistry:
         is fixed by the spec list, so the merged exposition is
         deterministic for any worker count.
         """
+        self._flush()
+        other._flush()
         for name in sorted(other._metrics):
             theirs = other._metrics[name]
             mine = self._metrics.get(name)
@@ -418,6 +487,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[Metric]:
+        self._flush()
         return self._metrics.get(name)
 
     def __contains__(self, name: str) -> bool:
@@ -428,4 +498,5 @@ class MetricsRegistry:
 
     def metrics(self) -> List[Metric]:
         """All registered metrics, sorted by name (exposition order)."""
+        self._flush()
         return [self._metrics[name] for name in sorted(self._metrics)]

@@ -15,6 +15,7 @@ import math
 from typing import List, Optional, Tuple
 
 from .registry import Histogram, MetricsRegistry
+from .sampling import TraceSampler
 from .spans import SpanTracker
 
 __all__ = ["Telemetry", "LATENCY_BUCKETS"]
@@ -28,11 +29,25 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 
 
 class Telemetry:
-    """Everything one run records about itself."""
+    """Everything one run records about itself.
 
-    def __init__(self) -> None:
+    ``sampler`` and ``span_capacity`` pass straight to the
+    :class:`~repro.obs.spans.SpanTracker`: simulations default to
+    unsampled, unbounded tracing (full determinism-checked tables);
+    long-running cluster nodes enable both.
+    """
+
+    def __init__(
+        self,
+        *,
+        sampler: Optional[TraceSampler] = None,
+        span_capacity: Optional[int] = None,
+    ) -> None:
         self.registry = MetricsRegistry()
-        self.spans = SpanTracker()
+        self.spans = SpanTracker(sampler=sampler, capacity=span_capacity)
+        # Per-offer counters fold from the span tracker's pending queue
+        # (see SpanTracker.on_flush); reading any metric must drain it.
+        self.registry.add_flush_hook(self.spans.flush)
 
     @property
     def detection_latency(self) -> Histogram:

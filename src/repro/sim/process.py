@@ -21,7 +21,6 @@ from typing import List, Optional, Protocol
 
 from ..clocks import Timestamp, VectorClock
 from ..intervals import Interval
-from ..obs.spans import interval_key
 from .kernel import Simulator
 from .messages import AppMessage
 from .network import Network
@@ -70,10 +69,19 @@ class MonitoredProcess:
         self._run_last: Optional[Timestamp] = None
         self._interval_seq = 0
         self.local_intervals: List[Interval] = []
-        self._interval_counter = sim.telemetry.registry.counter_vec(
+        self._count_interval = sim.telemetry.registry.counter_handle(
             "repro_intervals_total",
             "Local predicate intervals completed, per node.",
             ("node",),
+            key=pid,
+        )
+        # Completed intervals are counted when the span queue folds —
+        # record entries arrive under the ``None`` event key.
+        sim.telemetry.spans.on_flush(
+            pid,
+            lambda counts, _inc=self._count_interval: (
+                counts.get(None) and _inc(counts[None])
+            ),
         )
         network.attach(pid, self._on_message)
         if role is not None:
@@ -105,17 +113,16 @@ class MonitoredProcess:
         self.local_intervals.append(interval)
         # Every interval opens a span keyed by its identity, so the
         # detection layers can parent reports and alarms back onto it.
-        self.sim.telemetry.spans.record(
-            "interval",
-            self._run_start_time if self._run_start_time is not None else self.sim.now,
-            self.sim.now,
-            node=self.pid,
-            key=interval_key(interval),
-            owner=self.pid,
-            seq=interval.seq,
+        # ``record_interval`` is the tracker's queued fast path; the
+        # per-node interval counter folds from the same queue entry.
+        now = self.sim.now
+        self.sim.telemetry.spans.record_interval(
+            interval,
+            self._run_start_time if self._run_start_time is not None else now,
+            now,
+            self.pid,
         )
         self._run_start_time = None
-        self._interval_counter[self.pid] += 1
         if self.role is not None:
             self.role.on_local_interval(interval)
 

@@ -190,3 +190,41 @@ class TestMetaSidecar:
             ((message, meta),) = rx.feed_meta(frame)
             assert meta == {"span": [1, seq]}
             assert message.interval.seq == seq
+
+
+class TestMetaBounds:
+    """Sidecar hygiene: unknown keys tolerated for forward compat, but
+    the sidecar's size is bounded on both sides of the wire so a rogue
+    peer cannot smuggle unbounded payload past ``max_frame`` policy."""
+
+    def test_unknown_meta_keys_round_trip(self):
+        tx, rx = FrameCodec(), FrameCodec()
+        meta = {"span": [1, 5], "sampled": True, "future_field": {"x": 1}}
+        ((_, got),) = rx.feed_meta(tx.encode(_report(), meta=meta))
+        assert got == meta
+
+    def test_non_dict_meta_rejected_on_encode(self):
+        codec = FrameCodec()
+        for bad in ([1, 2], "span", 7):
+            with pytest.raises(ValueError):
+                codec.encode(_report(), meta=bad)
+
+    def test_oversized_meta_rejected_on_encode(self):
+        codec = FrameCodec(max_meta=64)
+        with pytest.raises(ValueError, match="max_meta"):
+            codec.encode(_report(), meta={"blob": "x" * 256})
+
+    def test_oversized_meta_poisons_frame_on_decode(self):
+        # A permissive sender vs a strict receiver: the decode-side
+        # check fires even though the frame itself framed fine.
+        tx = FrameCodec(max_meta=1 << 20)
+        rx = FrameCodec(max_meta=64)
+        frame = tx.encode(_report(), meta={"blob": "x" * 256})
+        with pytest.raises(ValueError, match="max_meta"):
+            rx.feed_meta(frame)
+
+    def test_meta_within_bound_passes_both_sides(self):
+        tx = FrameCodec(max_meta=128)
+        rx = FrameCodec(max_meta=128)
+        ((_, meta),) = rx.feed_meta(tx.encode(_report(), meta={"span": [0, 1]}))
+        assert meta == {"span": [0, 1]}

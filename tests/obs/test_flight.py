@@ -184,3 +184,62 @@ class TestPostmortem:
         text = render_postmortem(postmortem(tmp_path), limit=2)
         assert text.count("detect   ") == 2
         assert "detections: 10 total" in text
+
+
+class TestSnapshotSpanHygiene:
+    """Snapshot files dedup identical span rows and skip torn rows —
+    a snapshot taken over a stitched/merged table must stay clean."""
+
+    class _StitchedSpans:
+        """A span source that surfaces duplicates and torn rows, the way
+        a mid-eviction ring or a merged cluster table can."""
+
+        def __init__(self, rows):
+            self._rows = rows
+
+        def to_dicts(self, *, tail=None):
+            rows = self._rows
+            return rows if tail is None else rows[-tail:]
+
+    def _span_row(self, sid, name="interval", **extra):
+        return {
+            "sid": sid, "name": name, "node": 1, "start": 0.0, "end": 1.0,
+            "parent": None, "attrs": {}, "marks": [], **extra,
+        }
+
+    def test_duplicate_span_rows_collapse(self, tmp_path):
+        log = EventLog()
+        dup = self._span_row(3)
+        spans = self._StitchedSpans([dup, self._span_row(4), dict(dup)])
+        recorder = FlightRecorder(log, spans, tmp_path, source="node-1")
+        path = recorder.snapshot("manual")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        span_sids = [r["sid"] for r in rows if r["record"] == "span"]
+        assert span_sids == [3, 4]
+
+    def test_torn_rows_skipped(self, tmp_path):
+        log = EventLog()
+        spans = self._StitchedSpans(
+            [
+                self._span_row(None),  # lost its identity mid-eviction
+                self._span_row(7, name=""),  # torn: no name
+                self._span_row(8),
+            ]
+        )
+        recorder = FlightRecorder(log, spans, tmp_path, source="node-1")
+        path = recorder.snapshot("manual")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        span_sids = [r["sid"] for r in rows if r["record"] == "span"]
+        assert span_sids == [8]
+        # The cleaned snapshot still loads.
+        snapshot = load_snapshot(path)
+        assert [s.sid for s in snapshot.span_tracker.spans] == [8]
+
+    def test_real_tracker_rows_not_deduplicated_by_accident(self, tmp_path):
+        log, spans, recorder = _recorder(tmp_path)
+        # Two distinct spans with identical payload except sid survive.
+        spans.record("interval", 0.0, 1.0, node=1)
+        spans.record("interval", 0.0, 1.0, node=1)
+        path = recorder.snapshot("manual")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len([r for r in rows if r["record"] == "span"]) == 2

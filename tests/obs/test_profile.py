@@ -1,0 +1,134 @@
+"""Unit tests: the continuous-profiling layer.
+
+Signal-based sampling needs ``setitimer`` and the main thread, so every
+test that actually arms a timer is gated on
+:meth:`SamplingProfiler.available` — on platforms without POSIX timers
+the suite still exercises validation, bookkeeping and the exact
+cProfile path.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.obs import ProfileSection, SamplingProfiler, profile_block
+
+
+def _busy(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestProfileBlock:
+    def test_records_elapsed_and_hot_functions(self):
+        with profile_block("bench") as section:
+            _busy(time.perf_counter() + 0.05)
+        assert isinstance(section, ProfileSection)
+        assert section.name == "bench"
+        assert section.elapsed > 0.0
+        top = section.top(5)
+        assert top and all(
+            {"func", "calls", "tottime", "cumtime"} <= set(row) for row in top
+        )
+        assert any("_busy" in row["func"] for row in section.top(50))
+
+    def test_collapsed_lines_are_flamegraph_shaped(self):
+        with profile_block("hot") as section:
+            _busy(time.perf_counter() + 0.05)
+        lines = section.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack.startswith("hot;")
+            assert int(count) > 0
+
+    def test_to_dict_is_json_shaped(self):
+        with profile_block("x") as section:
+            sum(range(1000))
+        data = section.to_dict()
+        assert data["name"] == "x"
+        assert data["elapsed"] >= 0.0
+        assert isinstance(data["top"], list)
+
+    def test_section_survives_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with profile_block("boom") as section:
+                raise RuntimeError("inside")
+        assert section.elapsed > 0.0
+        assert isinstance(section.top(3), list)
+
+
+class TestSamplingProfilerValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(mode="gpu")
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(-0.001)
+
+    def test_idle_snapshot_shape(self):
+        profiler = SamplingProfiler()
+        data = profiler.to_dict()
+        assert data["samples"] == 0
+        assert data["running"] is False
+        assert data["top"] == []
+        assert profiler.collapsed() == ""
+        assert profiler.chrome_trace() == []
+
+
+@pytest.mark.skipif(
+    not SamplingProfiler.available(),
+    reason="needs setitimer and the main thread",
+)
+class TestSamplingProfilerLive:
+    def test_collects_samples_from_busy_loop(self):
+        profiler = SamplingProfiler(0.001)
+        with profiler:
+            _busy(time.perf_counter() + 0.2)
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.elapsed > 0.1
+        assert sum(profiler.stacks.values()) == profiler.samples
+        # Every collapsed line is "root;...;leaf count".
+        for line in profiler.collapsed().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        top = profiler.top(5)
+        assert top and top[0][1] >= top[-1][1]
+        data = profiler.to_dict()
+        assert data["samples"] == profiler.samples
+        assert data["unique_stacks"] == len(profiler.stacks)
+        events = profiler.chrome_trace()
+        assert events and all(e["ph"] == "i" for e in events)
+
+    def test_stop_restores_signal_handler(self):
+        signum = signal.SIGALRM
+        before = signal.getsignal(signum)
+        profiler = SamplingProfiler(0.001)
+        profiler.start()
+        assert signal.getsignal(signum) == profiler._handler
+        profiler.stop()
+        assert signal.getsignal(signum) == before
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(0.001)
+        profiler.stop()  # never started: no-op
+        profiler.start()
+        profiler.start()  # second start: no handler churn
+        _busy(time.perf_counter() + 0.05)
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_restart_accumulates_elapsed(self):
+        profiler = SamplingProfiler(0.001)
+        for _ in range(2):
+            with profiler:
+                _busy(time.perf_counter() + 0.05)
+        assert profiler.elapsed > 0.08

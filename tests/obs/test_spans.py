@@ -62,6 +62,113 @@ class TestSpanTracker:
         assert interval_key(Fake(False)) != interval_key(Fake(True))
 
 
+class _FakeInterval:
+    """Minimal interval surface for queue tests: identity + parts."""
+
+    def __init__(self, owner, seq, parts=()):
+        self.owner = owner
+        self.seq = seq
+        self.parts = parts
+
+    def key(self):
+        return (self.owner, self.seq, b"lo", b"hi")
+
+
+class TestQueueFold:
+    """The deferred hot path: record/mark enqueue tuples; any read folds."""
+
+    def test_reads_fold_the_queue(self):
+        tracker = SpanTracker()
+        ivl = _FakeInterval(1, 0)
+        tracker.record_interval(ivl, 0.0, 1.0, 1)
+        tracker.mark_interval(ivl, 0.5, "enqueued", 1)
+        # Nothing materialized yet — both entries still queued.
+        assert tracker._queue and not tracker._rows
+        spans = tracker.spans
+        assert [s.name for s in spans] == ["interval"]
+        assert spans[0].marks == [(0.5, "enqueued@P1")]
+        assert tracker.get(ivl.key()) is spans[0]
+
+    def test_begin_folds_first_so_sids_stay_chronological(self):
+        tracker = SpanTracker()
+        tracker.record_interval(_FakeInterval(1, 0), 0.0, 1.0, 1)
+        report = tracker.begin("report", 2.0, node=0, key=("rep", 1))
+        # The queued interval was recorded earlier, so it folds to the
+        # lower sid — and is adoptable by the report right away.
+        assert report.sid == 1
+        assert tracker.adopt(report, _FakeInterval(1, 0).key())
+        assert tracker.spans[0].parent == report.sid
+
+    def test_marks_on_aggregated_intervals_use_prefixed_key(self):
+        tracker = SpanTracker()
+        agg = _FakeInterval(0, 3, parts=(1, 2))
+        span = tracker.record("report", 0.0, 0.0, key=("agg",) + agg.key())
+        tracker.mark_interval(agg, 1.0, "enqueued", 0)
+        assert tracker.spans  # fold
+        assert span.marks == [(1.0, "enqueued@P0")]
+
+    def test_mark_for_untraced_interval_is_dropped(self):
+        tracker = SpanTracker()
+        tracker.mark_interval(_FakeInterval(9, 9), 1.0, "enqueued", 9)
+        assert tracker.spans == []
+
+    def test_subscribers_receive_batched_counts_per_node(self):
+        tracker = SpanTracker()
+        seen = {1: [], 2: []}
+        tracker.on_flush(1, seen[1].append)
+        tracker.on_flush(2, seen[2].append)
+        for seq in range(3):
+            tracker.record_interval(_FakeInterval(1, seq), 0.0, 1.0, 1)
+        tracker.mark_interval(_FakeInterval(1, 0), 0.5, "enqueued", 1)
+        tracker.mark_interval(_FakeInterval(1, 0), 0.6, "prune_incompat", 1)
+        tracker.record_interval(_FakeInterval(2, 0), 0.0, 1.0, 2)
+        tracker.flush()
+        # Record entries fold under None; marks under their event.
+        assert seen[1] == [{None: 3, "enqueued": 1, "prune_incompat": 1}]
+        assert seen[2] == [{None: 1}]
+        # An empty flush notifies nobody.
+        tracker.flush()
+        assert len(seen[1]) == 1
+
+    def test_queue_limit_triggers_self_fold(self):
+        from repro.obs.spans import _QUEUE_LIMIT
+
+        tracker = SpanTracker()
+        ivl = _FakeInterval(1, 0)
+        tracker.record_interval(ivl, 0.0, 1.0, 1)
+        for _ in range(_QUEUE_LIMIT - 1):
+            tracker.mark_interval(ivl, 0.5, "enqueued", 1)
+        # The bound was hit inside the hot path itself: queue drained
+        # without any read.
+        assert not tracker._queue
+        assert len(tracker._rows) == 1
+
+    def test_ring_eviction_drops_key_registration(self):
+        tracker = SpanTracker(capacity=4)
+        for seq in range(64):
+            tracker.record_interval(_FakeInterval(1, seq), 0.0, 1.0, 1)
+        tracker.flush()
+        stats = tracker.stats()
+        assert stats["recorded"] == 64
+        assert stats["retained_rows"] <= 4 + 32  # capacity + chunk slack
+        assert stats["evicted"] >= 1
+        assert tracker.get(_FakeInterval(1, 0).key()) is None
+        # A late mark for an evicted interval is a no-op, not a crash.
+        tracker.mark_interval(_FakeInterval(1, 0), 2.0, "enqueued", 1)
+        tracker.flush()
+
+    def test_sampling_stats_report_materialized_fraction(self):
+        from repro.obs import TraceSampler
+
+        tracker = SpanTracker(sampler=TraceSampler(0.1))
+        for seq in range(1000):
+            tracker.record_interval(_FakeInterval(1, seq), 0.0, 1.0, 1)
+        stats = tracker.stats()
+        assert stats["recorded"] == 1000
+        assert stats["materialized"] < 200
+        assert stats["sampled_fraction"] == stats["materialized"] / 1000
+
+
 class TestEndToEndTracing:
     def _run(self, **kwargs):
         defaults = dict(

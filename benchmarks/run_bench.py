@@ -53,6 +53,15 @@ SCHEMA = "repro-bench/1"
 #: spans recorded vs materialized, profiler-on overhead) — a schema bump
 #: so consumers can't silently read the old shape.
 SCHEMA_OBS = "repro-bench/2"
+#: The net benchmark split into codec microbench + unpaced wire
+#: throughput + paced cluster replay when the binary wire landed, and
+#: now records the codec, ack-coalescing and flush-batch parameters —
+#: a schema bump for the same reason.
+SCHEMA_NET = "repro-bench/2"
+
+#: The last ``repro-bench/1`` net baseline (paced JSON loopback replay)
+#: — the denominator of the binary wire's gated speedup.
+JSON_BASELINE_FRAMES_PER_S = 904.0094831288743
 
 
 # ----------------------------------------------------------------------
@@ -404,17 +413,219 @@ def bench_parallel(args) -> dict:
 # ----------------------------------------------------------------------
 # socket runtime (loopback)
 # ----------------------------------------------------------------------
-def bench_net(args) -> dict:
-    """The ``repro.net`` baseline: a 7-node loopback cluster replaying a
-    simulator-derived interval script.
+def _net_report_stream(script, tree):
+    """A recorded report stream: every node's scripted intervals as the
+    ``IntervalReport``s it would send its parent, concatenated into one
+    channel so per-channel compression references see realistic churn."""
+    from repro.sim.messages import IntervalReport
 
-    Two headline numbers: **frames/sec** moved through the full
-    encode → frame → decode path, and the **end-to-end detection
-    latency** — wall seconds from the *last* concrete interval of a
-    solution being offered at its leaf to the root announcing the
-    detection (i.e. the real-network analogue of
-    ``repro_detection_latency``).  Also asserts the run's solution set
-    matches the reference simulation exactly.
+    reports = []
+    for pid, stream in sorted(script.streams.items()):
+        parent = tree.parent_of(pid)
+        dest = parent if parent is not None else pid
+        for j, interval in enumerate(stream):
+            reports.append(
+                IntervalReport(
+                    origin=pid, dest=dest, interval=interval, transport_seq=j
+                )
+            )
+    return reports
+
+
+def _codec_microbench(reports, frames, repeats) -> dict:
+    """Codec-only encode/decode timing (no transport, no event loop):
+    frames/s and bytes/frame for the JSON and binary wires on the same
+    recorded report stream, so codec wins are attributable separately
+    from ack-coalescing and flush-batching wins."""
+    from repro.net import FrameCodec
+
+    stream = [reports[i % len(reports)] for i in range(frames)]
+    out = {}
+    for wire in ("json", "binary"):
+        encode_runs, decode_runs = [], []
+        nbytes = 0
+        for _ in range(repeats):
+            encoder = FrameCodec(wire=wire)
+            t0 = time.perf_counter()
+            encoded = [encoder.encode(message) for message in stream]
+            encode_runs.append(time.perf_counter() - t0)
+            blob = b"".join(encoded)
+            nbytes = len(blob)
+            decoder = FrameCodec()
+            t0 = time.perf_counter()
+            decoded = decoder.feed(blob)
+            decode_runs.append(time.perf_counter() - t0)
+            if len(decoded) != len(stream):
+                raise AssertionError(
+                    f"{wire} codec round-trip lost frames "
+                    f"({len(decoded)} != {len(stream)})"
+                )
+        out[wire] = {
+            "encode_frames_per_s": frames / min(encode_runs),
+            "decode_frames_per_s": frames / min(decode_runs),
+            "roundtrip_frames_per_s": frames
+            / (min(encode_runs) + min(decode_runs)),
+            "bytes_per_frame": nbytes / frames,
+        }
+    out["binary_vs_json"] = {
+        "encode_speedup": out["binary"]["encode_frames_per_s"]
+        / out["json"]["encode_frames_per_s"],
+        "decode_speedup": out["binary"]["decode_frames_per_s"]
+        / out["json"]["decode_frames_per_s"],
+        "roundtrip_speedup": out["binary"]["roundtrip_frames_per_s"]
+        / out["json"]["roundtrip_frames_per_s"],
+        "bytes_ratio": out["binary"]["bytes_per_frame"]
+        / out["json"]["bytes_per_frame"],
+    }
+    return out
+
+
+def _blast_wire(reports, frames, repeats) -> dict:
+    """Unpaced wire throughput: blast ``frames`` reports through a
+    transport pair as fast as the stack moves them (full encode → frame
+    → decode → dispatch path), for both wires on both transports.  The
+    binary loopback number is the benchmark's headline ``frames_per_s``."""
+    import asyncio
+
+    from repro.net import (
+        AsyncClock,
+        FrameCodec,
+        LoopbackHub,
+        LoopbackTransport,
+        TcpTransport,
+    )
+
+    stream = [reports[i % len(reports)] for i in range(frames)]
+
+    async def loopback_run(wire):
+        clock = AsyncClock()
+        hub = LoopbackHub()
+        factory = lambda: FrameCodec(wire=wire)  # noqa: E731
+        a = LoopbackTransport(0, hub, clock, codec_factory=factory)
+        b = LoopbackTransport(1, hub, clock, codec_factory=factory)
+        got = 0
+
+        def receiver(src, message, meta=None):
+            nonlocal got
+            got += 1
+
+        b.set_receiver(receiver)
+        await a.start()
+        await b.start()
+        t0 = time.perf_counter()
+        for i, message in enumerate(stream):
+            a.send(1, message)
+            if (i + 1) % 512 == 0:
+                await asyncio.sleep(0)  # let flush callbacks deliver
+        while got < frames:
+            await asyncio.sleep(0)
+        elapsed = time.perf_counter() - t0
+        nbytes = clock.telemetry.registry.get("repro_net_bytes_sent_total")[0]
+        await a.stop()
+        await b.stop()
+        return elapsed, int(nbytes)
+
+    async def tcp_run(wire):
+        clock = AsyncClock()
+        factory = lambda: FrameCodec(wire=wire)  # noqa: E731
+        outbox = dict(
+            max_outbox=frames + 16, high_water=frames + 16, low_water=1
+        )
+        a = TcpTransport(0, clock, codec_factory=factory, **outbox)
+        b = TcpTransport(1, clock, codec_factory=factory, **outbox)
+        got = 0
+
+        def receiver(src, message, meta=None):
+            nonlocal got
+            got += 1
+
+        b.set_receiver(receiver)
+        await a.start()
+        await b.start()
+        addresses = {0: a.address, 1: b.address}
+        a.set_peers(addresses)
+        b.set_peers(addresses)
+        t0 = time.perf_counter()
+        for message in stream:
+            a.send(1, message)
+        while got < frames:
+            await asyncio.sleep(0.001)
+        elapsed = time.perf_counter() - t0
+        nbytes = clock.telemetry.registry.get("repro_net_bytes_sent_total")[0]
+        await a.stop()
+        await b.stop()
+        return elapsed, int(nbytes)
+
+    out = {"loopback": {}, "tcp": {}}
+    for transport, run in (("loopback", loopback_run), ("tcp", tcp_run)):
+        for wire in ("json", "binary"):
+            runs = [asyncio.run(run(wire)) for _ in range(repeats)]
+            elapsed, nbytes = min(runs, key=lambda r: r[0])
+            out[transport][wire] = {
+                "frames": frames,
+                "elapsed_s": elapsed,
+                "frames_per_s": frames / elapsed,
+                "bytes_per_frame": nbytes / frames,
+            }
+        out[transport]["binary_speedup"] = (
+            out[transport]["binary"]["frames_per_s"]
+            / out[transport]["json"]["frames_per_s"]
+        )
+    return out
+
+
+def _validate_net(doc: dict) -> None:
+    """Schema + performance gate for ``BENCH_net.json``
+    (``repro-bench/2``).  Fails the bench run when the shape regresses,
+    when the binary wire falls under 5× the recorded JSON baseline, or
+    when the cluster replay's solution set diverges from the reference
+    simulation."""
+    if doc.get("schema") != SCHEMA_NET:
+        raise ValueError(
+            f"net schema must be {SCHEMA_NET}, got {doc.get('schema')!r}"
+        )
+    for field in (
+        "frames_per_s",
+        "bytes_per_frame",
+        "json_baseline_frames_per_s",
+        "speedup_vs_json_baseline",
+        "codec",
+        "wire_throughput",
+        "cluster",
+        "detection_latency_s",
+        "reference_match",
+    ):
+        if field not in doc:
+            raise ValueError(f"net payload missing {field!r}")
+    for field in ("wire", "ack_every", "ack_delay_s", "flush_frames", "flush_bytes"):
+        if field not in doc["params"]:
+            raise ValueError(f"net params missing {field!r}")
+    floor = 5.0 * doc["json_baseline_frames_per_s"]
+    if doc["frames_per_s"] < floor:
+        raise ValueError(
+            f"binary wire throughput {doc['frames_per_s']:.0f} frames/s is "
+            f"below the gate of 5x the JSON baseline ({floor:.0f} frames/s)"
+        )
+    if not doc["reference_match"]:
+        raise ValueError(
+            "cluster replay diverged from the reference simulation "
+            "(reference_match is false)"
+        )
+
+
+def bench_net(args) -> dict:
+    """The ``repro.net`` baseline, in three phases:
+
+    * **codec** — encode/decode microbenchmark on a recorded report
+      stream, JSON vs binary wire (frames/s, bytes/frame), no transport.
+    * **wire_throughput** — unpaced transport-pair blast (loopback and
+      TCP, both wires).  The binary loopback number is the headline
+      ``frames_per_s`` and is gated at ≥5× the recorded JSON baseline.
+    * **cluster** — the original paced 7-node loopback cluster replay
+      under the binary wire: end-to-end **detection latency** (wall
+      seconds from the last concrete interval of a solution being
+      offered at its leaf to the root announcing the detection) and the
+      ``reference_match`` equality gate against the simulation.
     """
     import asyncio
 
@@ -422,23 +633,30 @@ def bench_net(args) -> dict:
     from repro.net import (
         ClusterSpec,
         LocalCluster,
+        TcpTransport,
         simulation_script,
         solution_signatures,
     )
 
     epochs = 2 if args.quick else 6
     repeats = 2 if args.quick else min(args.repeats, 3)
+    blast_frames = 2000 if args.quick else 20000
     spec = ClusterSpec(
         nodes=7,
         degree=2,
         seed=args.timing_seed,
         transport="loopback",
+        wire="binary",
         interval_spacing=0.002,
         start_delay=0.05,
         epochs=epochs,
         heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
     )
     script = simulation_script(spec.tree(), seed=spec.seed, epochs=epochs)
+    reports = _net_report_stream(script, spec.tree())
+
+    codec = _codec_microbench(reports, blast_frames // 4, repeats)
+    throughput = _blast_wire(reports, blast_frames, repeats)
 
     async def one_run():
         cluster = LocalCluster(spec, script=script)
@@ -458,6 +676,7 @@ def bench_net(args) -> dict:
         await cluster.run(until_detections=len(script.reference), timeout=120)
         elapsed = time.perf_counter() - t0
         await asyncio.sleep(0.1)  # grace: over-detections must surface
+        wire_summary = cluster.wire_summary()
         await cluster.stop()
 
         latencies = []
@@ -475,6 +694,7 @@ def bench_net(args) -> dict:
             "frames": int(out_frames),
             "bytes_sent": int(sum(registry.get("repro_net_bytes_sent_total").values())),
             "latencies": latencies,
+            "bytes_by_type": wire_summary["bytes_by_type"],
             "signatures": solution_signatures(cluster.detections),
         }
 
@@ -485,25 +705,53 @@ def bench_net(args) -> dict:
         r["signatures"] == solution_signatures(script.reference) for r in runs
     )
 
-    return {
-        "schema": SCHEMA,
+    import inspect
+
+    # Record the coalescing/batching knobs actually in force — the
+    # transport defaults every phase above ran with.
+    tcp_defaults = {
+        name: parameter.default
+        for name, parameter in inspect.signature(
+            TcpTransport.__init__
+        ).parameters.items()
+    }
+
+    headline = throughput["loopback"]["binary"]
+    doc = {
+        "schema": SCHEMA_NET,
         "benchmark": "net",
         "quick": args.quick,
         "params": {
             "nodes": spec.nodes,
             "degree": spec.degree,
             "transport": spec.transport,
+            "wire": spec.wire,
             "epochs": epochs,
             "intervals": script.total_intervals,
             "interval_spacing_s": spec.interval_spacing,
+            "blast_frames": blast_frames,
             "repeats": repeats,
             "seed": args.timing_seed,
+            "ack_every": tcp_defaults["ack_every"],
+            "ack_delay_s": tcp_defaults["ack_delay"],
+            "flush_frames": tcp_defaults["flush_frames"],
+            "flush_bytes": tcp_defaults["flush_bytes"],
         },
-        "elapsed_s": best["elapsed_s"],
-        "frames": best["frames"],
-        "frames_per_s": best["frames"] / best["elapsed_s"],
-        "bytes_sent": best["bytes_sent"],
-        "detections": len(script.reference),
+        "codec": codec,
+        "wire_throughput": throughput,
+        "cluster": {
+            "elapsed_s": best["elapsed_s"],
+            "frames": best["frames"],
+            "frames_per_s": best["frames"] / best["elapsed_s"],
+            "bytes_sent": best["bytes_sent"],
+            "bytes_by_type": best["bytes_by_type"],
+            "detections": len(script.reference),
+        },
+        "frames_per_s": headline["frames_per_s"],
+        "bytes_per_frame": headline["bytes_per_frame"],
+        "json_baseline_frames_per_s": JSON_BASELINE_FRAMES_PER_S,
+        "speedup_vs_json_baseline": headline["frames_per_s"]
+        / JSON_BASELINE_FRAMES_PER_S,
         "detection_latency_s": {
             "p50": float(np.percentile(latencies, 50)),
             "p95": float(np.percentile(latencies, 95)),
@@ -511,6 +759,8 @@ def bench_net(args) -> dict:
         },
         "reference_match": reference_match,
     }
+    _validate_net(doc)
+    return doc
 
 
 # ----------------------------------------------------------------------

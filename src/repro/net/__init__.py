@@ -10,9 +10,11 @@ length-prefixed TCP frames instead of the discrete-event simulator:
 * :class:`AsyncClock` — wall-clock stand-in for the
   :class:`~repro.sim.Simulator` surface (``now`` / ``schedule`` /
   ``rng`` / ``emit`` / ``telemetry``) backed by the asyncio loop;
-* :class:`FrameCodec` — the wire protocol: length-prefixed JSON frames
-  over :func:`repro.sim.serialize.message_to_dict`, with per-channel
-  timestamp compression via :func:`repro.clocks.encoding.best_encoding`;
+* :class:`FrameCodec` — the wire protocol: versioned binary frames
+  (struct header + varint-packed bodies from
+  :mod:`repro.sim.wirepack`, with a legacy length-prefixed JSON wire
+  and a per-frame JSON escape hatch), per-channel timestamp
+  compression via :func:`repro.clocks.encoding.best_encoding`;
 * :class:`TcpTransport` / :class:`LoopbackTransport` — the
   :class:`Transport` implementations (sockets, and an in-process hub so
   unit tests need no ports);
@@ -25,7 +27,7 @@ See ``docs/networking.md`` for the architecture and wire format.
 """
 
 from .clock import AsyncClock, ClockScope
-from .codec import FrameCodec
+from .codec import ACK_TYPE, CODEC_VERSION, HELLO_TYPE, WIRE_FORMATS, FrameCodec
 from .transport import LoopbackHub, LoopbackTransport, TcpTransport, Transport
 from .runtime import NodeRuntime
 from .cluster import ClusterSpec, LocalCluster
@@ -35,6 +37,10 @@ __all__ = [
     "AsyncClock",
     "ClockScope",
     "FrameCodec",
+    "ACK_TYPE",
+    "HELLO_TYPE",
+    "CODEC_VERSION",
+    "WIRE_FORMATS",
     "Transport",
     "TcpTransport",
     "LoopbackTransport",

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="real sockets, or the in-process loopback hub",
     )
     shape.add_argument(
+        "--wire",
+        choices=("binary", "json"),
+        default="binary",
+        help="frame encoding: packed binary (default) or the legacy JSON wire",
+    )
+    shape.add_argument(
         "--epochs", type=int, default=4, help="reference-workload epochs (default 4)"
     )
     shape.add_argument(
@@ -238,6 +244,7 @@ async def _run_cluster(args) -> dict:
         degree=args.degree,
         seed=args.seed,
         transport=args.transport,
+        wire=args.wire,
         epochs=args.epochs,
         sync_prob=args.sync_prob,
         interval_spacing=args.interval_spacing,
@@ -252,7 +259,8 @@ async def _run_cluster(args) -> dict:
     )
     cluster = LocalCluster(spec)
     summary: dict = {"spec": {"nodes": spec.nodes, "degree": spec.degree,
-                              "seed": spec.seed, "transport": spec.transport}}
+                              "seed": spec.seed, "transport": spec.transport,
+                              "wire": spec.wire}}
     try:
         await cluster.start()
         await cluster.run(
@@ -312,6 +320,7 @@ async def _run_cluster(args) -> dict:
         },
         slo_breaches=len(cluster.log.of_kind("slo_breach")),
         uptime=round(cluster.clock.now, 3),
+        wire=cluster.wire_summary(),
     )
     # Sampling accounting + per-alarm trace completeness, so a sampled
     # run can be asserted on ("the kill's alarm still explains down to

@@ -1,17 +1,55 @@
-"""The wire protocol: length-prefixed JSON frames with per-channel
-timestamp compression.
+"""The wire protocol: versioned binary frames with a JSON escape hatch
+and per-channel timestamp compression.
 
-Frame layout (one frame per control message)::
+Binary frame layout (``wire="binary"``, one frame per control message)::
+
+     0        1        2        3      4..6        7
+    +--------+--------+--------+----------------+------------------+
+    | 0xB1   | tag    | flags  | body length    | packed body      |
+    | magic/ | msg    | bit 0: | 4 bytes,       | (+ _meta sidecar |
+    | version| type   | _meta  | big-endian     |  when flags&1)   |
+    +--------+--------+--------+----------------+------------------+
+
+The first byte doubles as magic and version: ``0xB1`` is binary
+protocol v1.  Because legacy JSON frames start with a 4-byte big-endian
+body length — and body lengths are bounded by ``max_frame``, far below
+2**31 — a legacy frame's first byte never has the high bit set.  The
+decoder uses exactly that: high bit set means a binary header (any
+value other than ``0xB1`` is an unsupported version and poisons the
+stream); high bit clear means legacy JSON framing::
 
     +-------------------+----------------------------------------+
     | 4 bytes, big-end. | UTF-8 JSON body, ``length`` bytes      |
     | unsigned length   | (repro.sim.serialize.message_to_dict)  |
     +-------------------+----------------------------------------+
 
-Bodies are the stable JSON forms of the :mod:`repro.sim.messages`
-dataclasses.  Frames whose ``type`` starts with ``__`` are *meta*
-frames (connection handshake etc.) and stay plain dicts — the transport
-consumes them before messages reach a role.
+Each frame is therefore self-describing, so a decoder needs no
+configuration: json→binary and binary→json peers interoperate frame by
+frame, and the ``wire=`` knob governs *encoding* only.
+
+Type tags (see :mod:`repro.sim.wirepack` for body layouts):
+
+====  ==================  =============================================
+tag   body                notes
+====  ==================  =============================================
+0     JSON escape hatch   UTF-8 JSON object; message types the packer
+                          does not know keep working on a binary wire
+1     IntervalReport      varint ids/seq + scheme-tagged bounds
+2     Heartbeat           svarint sender
+3     AppMessage          JSON payload + svarint piggyback vector
+4     AttachRequest       svarint child + svarint member list
+5     AttachAccept        svarint parent
+6     DetachNotice        svarint child
+7     __ack__             uvarint cumulative frame count
+====  ==================  =============================================
+
+Meta frames (``type`` starts with ``__``) stay plain dicts consumed by
+the transport before messages reach a role.  The ``__hello__``
+handshake is *always* sent in legacy JSON framing — it is the
+negotiation vehicle (it carries the sender's ``wire`` and ``codec``
+version), so it must be readable by any peer regardless of wire
+format.  Acks are hot (one per read batch) and go packed on a binary
+wire.
 
 Timestamp compression
 ---------------------
@@ -22,9 +60,10 @@ reference state: for each of ``lo``/``hi`` it remembers the previous
 timestamp sent (or received) on this channel and lets
 :func:`repro.clocks.encoding.best_encoding` pick the cheapest of
 raw / sparse / differential for the next one.  The chosen scheme is
-tagged on the wire (``{"e": "sparse", "p": [[i, v], …]}``), so the
-decoder — whose reference state advances in lockstep, frame by frame —
-inverts it exactly.
+tagged on the wire — a one-byte scheme tag followed by packed varint
+pairs on the binary path, a ``{"e": "sparse", "p": [[i, v], …]}``
+envelope on the JSON path — so the decoder, whose reference state
+advances in lockstep frame by frame, inverts it exactly.
 
 Because the references advance per frame, a codec pair is only coherent
 over an *ordered, gap-free* frame stream: exactly what one TCP
@@ -50,15 +89,71 @@ from ..clocks.encoding import (
     encode_sparse,
 )
 from ..sim.serialize import message_from_dict, message_to_dict
+from ..sim.wirepack import (
+    SCHEME_DIFFERENTIAL,
+    SCHEME_RAW,
+    SCHEME_SPARSE,
+    TAG_ACK,
+    TAG_JSON,
+    pack_message,
+    read_uvarint,
+    unpack_message,
+    write_svarint,
+    write_uvarint,
+)
 
-__all__ = ["FrameCodec", "HELLO_TYPE"]
+__all__ = [
+    "FrameCodec",
+    "HELLO_TYPE",
+    "ACK_TYPE",
+    "MAGIC_BINARY_V1",
+    "CODEC_VERSION",
+    "WIRE_FORMATS",
+]
 
 #: Meta-frame type sent first on every outbound connection so the
 #: receiver learns which node is talking (listeners see only an
-#: ephemeral source port otherwise).
+#: ephemeral source port otherwise).  Always legacy-JSON-framed; it
+#: carries the sender's ``wire`` format and ``codec`` version.
 HELLO_TYPE = "__hello__"
 
+#: Meta frame flowing back on an inbound connection: ``n`` is the
+#: cumulative count of message frames received on that connection.
+ACK_TYPE = "__ack__"
+
+#: First byte of a binary v1 frame.  High bit deliberately set so the
+#: byte can never be confused with the leading length byte of a legacy
+#: JSON frame; future versions claim 0xB2, 0xB3, …
+MAGIC_BINARY_V1 = 0xB1
+
+#: Negotiated protocol version advertised in ``__hello__``.
+CODEC_VERSION = 1
+
+WIRE_FORMATS = ("json", "binary")
+
 _HEADER = struct.Struct(">I")
+#: magic/version, type tag, flags, body length.
+_BIN_HEADER = struct.Struct(">BBBI")
+#: flags bit 0: a ``_meta`` sidecar (uvarint length + JSON bytes)
+#: follows the packed body.
+_FLAG_META = 0x01
+
+#: best_encoding name -> wire scheme byte.
+_SCHEME_BYTES = {
+    "raw": SCHEME_RAW,
+    "sparse": SCHEME_SPARSE,
+    "differential": SCHEME_DIFFERENTIAL,
+}
+
+
+def _pack_pairs(pairs: list) -> bytes:
+    """``(index, value)`` pair list -> uvarint count + packed pairs."""
+    buf = bytearray()
+    write_uvarint(buf, len(pairs))
+    for index, value in pairs:
+        write_uvarint(buf, int(index))
+        write_svarint(buf, int(value))
+    return bytes(buf)
 
 
 class FrameCodec:
@@ -66,6 +161,10 @@ class FrameCodec:
 
     Parameters
     ----------
+    wire:
+        ``"json"`` (default) or ``"binary"`` — the *encode* format.
+        Decoding is wire-agnostic (frames are self-describing), so the
+        two formats interoperate in either direction.
     include_parts:
         Ship aggregation provenance (``parts``) inside interval bodies.
         ``True`` (default) makes the socket runtime deliver exactly what
@@ -80,23 +179,28 @@ class FrameCodec:
     max_frame:
         Hard bound on body size; oversized frames fail loudly on encode
         and poison the stream on decode (the transport drops the
-        connection).
+        connection).  Enforced identically on both wire formats.
     max_meta:
         Hard bound on the serialized ``_meta`` sidecar.  The sidecar is
         a forward-compatible extension point — decoders tolerate keys
         they do not understand — so its size must be bounded
         independently of the body: an oversized (or non-object) sidecar
-        poisons the frame exactly like an oversized body.
+        poisons the frame exactly like an oversized body, on either
+        wire format.
     """
 
     def __init__(
         self,
         *,
+        wire: str = "json",
         include_parts: bool = True,
         compress: bool = True,
         max_frame: int = 8 * 1024 * 1024,
         max_meta: int = 64 * 1024,
     ) -> None:
+        if wire not in WIRE_FORMATS:
+            raise ValueError(f"wire must be one of {WIRE_FORMATS}, got {wire!r}")
+        self.wire = wire
         self.include_parts = include_parts
         self.compress = compress
         self.max_frame = max_frame
@@ -116,23 +220,60 @@ class FrameCodec:
         """One message (or meta dict) -> one framed byte string.
 
         ``meta`` is an optional JSON-safe sidecar dict carried in the
-        frame body under ``"_meta"`` — transport-level annotations (the
-        sender's span id, for cross-node trace stitching) that never
-        touch the message dataclass itself.  The decoder hands it back
-        via :meth:`feed_meta`."""
+        frame — transport-level annotations (the sender's span id, for
+        cross-node trace stitching) that never touch the message
+        dataclass itself.  The decoder hands it back via
+        :meth:`feed_meta`."""
         if isinstance(message, dict):
             if not str(message.get("type", "")).startswith("__"):
                 raise ValueError("dict frames are reserved for __meta__ types")
             if meta is not None:
                 raise ValueError("meta frames cannot carry a _meta sidecar")
-            data = message
-        else:
+            if self.wire == "binary" and message.get("type") == ACK_TYPE:
+                body = bytearray()
+                write_uvarint(body, int(message["n"]))
+                return self._frame_packed(TAG_ACK, 0, bytes(body))
+            # Hello and any other meta frame stays legacy JSON so every
+            # peer — whatever its wire format — can read the handshake.
+            return self._frame_json(message)
+        if self.wire == "binary":
+            packed = pack_message(
+                message,
+                include_parts=self.include_parts,
+                bounds=self._encode_bound,
+            )
+            if packed is not None:
+                tag, body = packed
+                flags = 0
+                if meta is not None:
+                    self._check_meta(meta)
+                    sidecar = json.dumps(meta, separators=(",", ":")).encode(
+                        "utf-8"
+                    )
+                    trailer = bytearray()
+                    write_uvarint(trailer, len(sidecar))
+                    body = body + bytes(trailer) + sidecar
+                    flags |= _FLAG_META
+                return self._frame_packed(tag, flags, body)
+            # Escape hatch: a message type the packer does not know
+            # rides as JSON behind a binary header.  No timestamp
+            # compression here — the reference chain is owned by the
+            # packed IntervalReport path.
             data = message_to_dict(message, include_parts=self.include_parts)
-            if self.compress and data["type"] == "IntervalReport":
-                self._compress_interval(data["interval"])
             if meta is not None:
                 self._check_meta(meta)
                 data["_meta"] = meta
+            body = json.dumps(data, separators=(",", ":")).encode("utf-8")
+            return self._frame_packed(TAG_JSON, 0, body)
+        data = message_to_dict(message, include_parts=self.include_parts)
+        if self.compress and data["type"] == "IntervalReport":
+            self._compress_interval(data["interval"])
+        if meta is not None:
+            self._check_meta(meta)
+            data["_meta"] = meta
+        return self._frame_json(data)
+
+    def _frame_json(self, data: dict) -> bytes:
         body = json.dumps(data, separators=(",", ":")).encode("utf-8")
         if len(body) > self.max_frame:
             raise ValueError(
@@ -140,6 +281,14 @@ class FrameCodec:
                 f"({self.max_frame})"
             )
         return _HEADER.pack(len(body)) + body
+
+    def _frame_packed(self, tag: int, flags: int, body: bytes) -> bytes:
+        if len(body) > self.max_frame:
+            raise ValueError(
+                f"frame body of {len(body)} bytes exceeds max_frame "
+                f"({self.max_frame})"
+            )
+        return _BIN_HEADER.pack(MAGIC_BINARY_V1, tag, flags, len(body)) + body
 
     def _check_meta(self, meta) -> None:
         """Validate a ``_meta`` sidecar on either side of the wire.
@@ -159,12 +308,53 @@ class FrameCodec:
                 f"({self.max_meta})"
             )
 
+    # -- timestamp channel state (shared by both wire formats) ---------
+    def _encode_bound(self, slot: int, ts: np.ndarray) -> Tuple[int, bytes]:
+        """Binary-path bounds hook: pick a scheme against the channel
+        reference, advance it, emit packed bytes."""
+        ts = np.asarray(ts, dtype=np.int64)
+        reference = self._enc_ref[slot]
+        if reference is not None and reference.shape != ts.shape:
+            reference = None
+        name = "raw"
+        if self.compress:
+            name, _ = best_encoding(ts, reference)
+        if name == "sparse":
+            pairs, _ = encode_sparse(ts)
+            payload = _pack_pairs(pairs)
+        elif name == "differential":
+            pairs, _ = encode_differential(ts, reference)
+            payload = _pack_pairs(pairs)
+        else:
+            payload = np.ascontiguousarray(ts).astype(">i8").tobytes()
+        if self.compress:
+            self.encodings[name] += 1
+        self._enc_ref[slot] = ts
+        return _SCHEME_BYTES[name], payload
+
+    def _decode_bound(
+        self, slot: int, scheme: int, payload: object, n: int
+    ) -> np.ndarray:
+        """Binary-path bounds hook: invert the scheme, advance the
+        decoder reference in lockstep with the encoder's."""
+        if scheme == SCHEME_RAW:
+            ts = np.asarray(payload, dtype=np.int64)
+        elif scheme == SCHEME_SPARSE:
+            ts = np.asarray(decode_sparse(payload, n), dtype=np.int64)
+        else:
+            ts = np.asarray(
+                decode_differential(payload, self._dec_ref[slot], n),
+                dtype=np.int64,
+            )
+        self._dec_ref[slot] = ts
+        return ts
+
     def _compress_interval(self, data: dict) -> None:
-        """Replace the top-level ``lo``/``hi`` lists with tagged encoded
-        payloads, advancing the encoder references.  Nested ``parts``
-        stay raw: provenance is bulky but rare, and keeping the
-        reference chain tied to the head timestamps keeps both ends'
-        state trivially in lockstep."""
+        """JSON path: replace the top-level ``lo``/``hi`` lists with
+        tagged encoded payloads, advancing the encoder references.
+        Nested ``parts`` stay raw: provenance is bulky but rare, and
+        keeping the reference chain tied to the head timestamps keeps
+        both ends' state trivially in lockstep."""
         data["n"] = len(data["lo"])
         for slot, bound in enumerate(("lo", "hi")):
             ts = np.asarray(data[bound], dtype=np.int64)
@@ -193,10 +383,35 @@ class FrameCodec:
 
     def feed_meta(self, data: bytes) -> List[Tuple[object, Optional[dict]]]:
         """Like :meth:`feed`, but each message comes back with the frame
-        ``_meta`` sidecar (or ``None``) it was encoded with."""
+        ``_meta`` sidecar (or ``None``) it was encoded with.  Both wire
+        formats are accepted, frame by frame."""
         self._buffer.extend(data)
         out: List[Tuple[object, Optional[dict]]] = []
-        while len(self._buffer) >= _HEADER.size:
+        while self._buffer:
+            first = self._buffer[0]
+            if first & 0x80:
+                if first != MAGIC_BINARY_V1:
+                    raise ValueError(
+                        f"unsupported binary wire version byte 0x{first:02x}; "
+                        f"stream is corrupt"
+                    )
+                if len(self._buffer) < _BIN_HEADER.size:
+                    break
+                _, tag, flags, length = _BIN_HEADER.unpack_from(self._buffer)
+                if length > self.max_frame:
+                    raise ValueError(
+                        f"declared frame length {length} exceeds max_frame "
+                        f"({self.max_frame}); stream is corrupt"
+                    )
+                total = _BIN_HEADER.size + length
+                if len(self._buffer) < total:
+                    break
+                body = bytes(self._buffer[_BIN_HEADER.size : total])
+                del self._buffer[:total]
+                out.append(self._decode_packed(tag, flags, body))
+                continue
+            if len(self._buffer) < _HEADER.size:
+                break
             (length,) = _HEADER.unpack_from(self._buffer)
             if length > self.max_frame:
                 raise ValueError(
@@ -216,6 +431,44 @@ class FrameCodec:
         if len(messages) != 1 or self._buffer:
             raise ValueError("decode() expects exactly one complete frame")
         return messages[0]
+
+    def _decode_packed(
+        self, tag: int, flags: int, body: bytes
+    ) -> Tuple[object, Optional[dict]]:
+        if flags & ~_FLAG_META:
+            raise ValueError(
+                f"unknown frame flags 0x{flags:02x}; stream is corrupt"
+            )
+        if tag == TAG_ACK:
+            n, offset = read_uvarint(body, 0)
+            if offset != len(body):
+                raise ValueError("trailing bytes after packed ack frame")
+            return {"type": ACK_TYPE, "n": n}, None
+        if tag == TAG_JSON:
+            return self._decode_body(body)
+        message, offset = unpack_message(
+            tag, body, bounds=self._decode_bound
+        )
+        meta: Optional[dict] = None
+        if flags & _FLAG_META:
+            size, offset = read_uvarint(body, offset)
+            if size > self.max_meta:
+                raise ValueError(
+                    f"frame _meta sidecar of {size} bytes exceeds max_meta "
+                    f"({self.max_meta})"
+                )
+            end = offset + size
+            if end > len(body):
+                raise ValueError("truncated _meta sidecar in packed frame")
+            meta = json.loads(body[offset:end].decode("utf-8"))
+            self._check_meta(meta)
+            offset = end
+        if offset != len(body):
+            raise ValueError(
+                f"{len(body) - offset} trailing bytes after packed frame "
+                f"body; stream is corrupt"
+            )
+        return message, meta
 
     def _decode_body(self, body: bytes) -> Tuple[object, Optional[dict]]:
         data = json.loads(body.decode("utf-8"))

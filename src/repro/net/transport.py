@@ -35,7 +35,7 @@ import asyncio
 import inspect
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
-from .codec import HELLO_TYPE, FrameCodec
+from .codec import ACK_TYPE, CODEC_VERSION, HELLO_TYPE, FrameCodec
 
 __all__ = [
     "Transport",
@@ -43,6 +43,7 @@ __all__ = [
     "LoopbackTransport",
     "TcpTransport",
     "SEND_LATENCY_BUCKETS",
+    "ACK_TYPE",
 ]
 
 #: Wall-clock send-latency buckets (seconds): localhost frames land in
@@ -75,10 +76,6 @@ def _adapt_receiver(receiver: Receiver) -> Callable[[int, object, Optional[dict]
     if len(positional) >= 3:
         return receiver
     return lambda src, message, meta=None: receiver(src, message)
-
-#: Meta frame flowing back on an inbound connection: ``n`` is the
-#: cumulative count of message frames received on that connection.
-ACK_TYPE = "__ack__"
 
 
 class Transport(Protocol):
@@ -152,6 +149,16 @@ class _Instruments:
             "Wall seconds from enqueue to successful socket write.",
             SEND_LATENCY_BUCKETS,
         )
+        self.bytes_by_type = registry.counter_vec(
+            "repro_net_bytes_total",
+            "Socket-plane bytes written, per node and frame type.",
+            ("node", "type"),
+        )
+        self.acks = registry.counter_vec(
+            "repro_net_acks_total",
+            "Cumulative ack frames written by inbound handlers.",
+            ("node",),
+        )
         # Per-frame accounting runs once per message on the wire, so
         # label keys are resolved once and the bound handles cached.
         self._frame_handles: Dict[tuple, Callable[..., None]] = {}
@@ -172,7 +179,18 @@ class _Instruments:
 
     def sent(self, node: int, message: object, nbytes: int) -> None:
         self._byte_handle(self.bytes_sent, node, "out")(nbytes)
-        self._frame_handle((node, "out", type(message).__name__))()
+        kind = type(message).__name__
+        self._frame_handle((node, "out", kind))()
+        self._typed_byte_handle(node, kind)(nbytes)
+
+    def _typed_byte_handle(self, node: int, kind: str) -> Callable[..., None]:
+        cache_key = (node, "type", kind)
+        handle = self._byte_handles.get(cache_key)
+        if handle is None:
+            handle = self._byte_handles[cache_key] = self.bytes_by_type.handle(
+                (node, kind)
+            )
+        return handle
 
     def received(self, node: int, message: object, nbytes: int = 0) -> None:
         if nbytes:
@@ -221,6 +239,8 @@ class LoopbackTransport:
         self.receiver: Optional[Receiver] = None
         self._encoders: Dict[int, FrameCodec] = {}
         self._decoders: Dict[int, FrameCodec] = {}
+        self._outbufs: Dict[int, bytearray] = {}
+        self._flush_scheduled: set = set()
         self._running = False
 
     def set_receiver(self, receiver: Receiver) -> None:
@@ -235,13 +255,15 @@ class LoopbackTransport:
         self.hub.detach(self.node_id)
 
     async def drain(self) -> None:
-        # call_soon delivery: yielding to the loop once flushes
-        # everything already sent.
+        # Frames batch per destination and flush on the next loop tick;
+        # yielding twice covers the flush callback plus its delivery.
+        await asyncio.sleep(0)
         await asyncio.sleep(0)
 
     def drop_peer(self, peer: int) -> None:
         self._encoders.pop(peer, None)
         self._decoders.pop(peer, None)
+        self._outbufs.pop(peer, None)
 
     def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:
         if not self._running:
@@ -255,17 +277,36 @@ class LoopbackTransport:
             codec = self._encoders[dst] = self.codec_factory()
         frame = codec.encode(message, meta)
         self.instruments.sent(self.node_id, message, len(frame))
-        loop = asyncio.get_running_loop()
-        loop.call_soon(peer._deliver, self.node_id, frame)
+        # Mirror the TCP writer's flush batching: frames accumulate per
+        # destination and one callback per loop tick delivers the whole
+        # batch through the decoder in a single feed.
+        buffer = self._outbufs.get(dst)
+        if buffer is None:
+            buffer = self._outbufs[dst] = bytearray()
+        buffer += frame
+        if dst not in self._flush_scheduled:
+            self._flush_scheduled.add(dst)
+            asyncio.get_running_loop().call_soon(self._flush, dst)
 
-    def _deliver(self, src: int, frame: bytes) -> None:
+    def _flush(self, dst: int) -> None:
+        self._flush_scheduled.discard(dst)
+        data = self._outbufs.pop(dst, None)
+        if not data or not self._running:
+            return
+        peer = self.hub.transports.get(dst)
+        if peer is not None and peer._running:
+            peer._deliver(self.node_id, bytes(data))
+
+    def _deliver(self, src: int, data: bytes) -> None:
         if not self._running or self.receiver is None:
             return
         codec = self._decoders.get(src)
         if codec is None:
             codec = self._decoders[src] = self.codec_factory()
-        for message, meta in codec.feed_meta(frame):
-            self.instruments.received(self.node_id, message, len(frame))
+        nbytes = len(data)
+        for message, meta in codec.feed_meta(data):
+            self.instruments.received(self.node_id, message, nbytes)
+            nbytes = 0  # count batch bytes once, frames per message
             self.receiver(src, message, meta)
 
 
@@ -343,7 +384,16 @@ class _PeerLink:
             self._acked = 0
             pump = ack_loop = None
             try:
-                writer.write(codec.encode({"type": HELLO_TYPE, "node": owner.node_id}))
+                writer.write(
+                    codec.encode(
+                        {
+                            "type": HELLO_TYPE,
+                            "node": owner.node_id,
+                            "wire": codec.wire,
+                            "codec": CODEC_VERSION,
+                        }
+                    )
+                )
                 await writer.drain()
                 # The pump writes, the ack loop confirms (and doubles as
                 # the connection-death detector via read EOF).  Either
@@ -374,6 +424,10 @@ class _PeerLink:
                 )
 
     async def _pump(self, writer: asyncio.StreamWriter, codec: FrameCodec) -> None:
+        """Encode pending messages in batches and flush each batch with
+        a single write + drain: per-frame syscall cost amortizes over up
+        to ``flush_frames`` frames (or ``flush_bytes`` bytes) without
+        changing the ordered stream the codec references require."""
         owner = self.owner
         while not self.closing:
             if self._sent >= len(self.pending):
@@ -382,12 +436,24 @@ class _PeerLink:
                     continue
                 await self.wake.wait()
                 continue
-            _, message, meta = self.pending[self._sent]
-            frame = codec.encode(message, meta)
-            writer.write(frame)
+            batch: List[bytes] = []
+            messages: List[object] = []
+            size = 0
+            while (
+                self._sent + len(batch) < len(self.pending)
+                and len(batch) < owner.flush_frames
+                and size < owner.flush_bytes
+            ):
+                _, message, meta = self.pending[self._sent + len(batch)]
+                frame = codec.encode(message, meta)
+                batch.append(frame)
+                messages.append(message)
+                size += len(frame)
+            writer.write(b"".join(batch))
             await writer.drain()
-            self._sent += 1
-            owner.instruments.sent(owner.node_id, message, len(frame))
+            self._sent += len(batch)
+            for message, frame in zip(messages, batch):
+                owner.instruments.sent(owner.node_id, message, len(frame))
 
     async def _read_acks(self, reader: asyncio.StreamReader) -> None:
         owner = self.owner
@@ -438,11 +504,17 @@ class TcpTransport:
         low_water: int = 256,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        ack_every: int = 64,
+        ack_delay: float = 0.002,
+        flush_frames: int = 128,
+        flush_bytes: int = 64 * 1024,
     ) -> None:
         if not 0 < low_water <= high_water <= max_outbox:
             raise ValueError(
                 "watermarks must satisfy 0 < low_water <= high_water <= max_outbox"
             )
+        if ack_every < 1 or flush_frames < 1 or flush_bytes < 1:
+            raise ValueError("ack_every, flush_frames and flush_bytes must be >= 1")
         self.node_id = node_id
         self.clock = clock
         self.host = host
@@ -453,6 +525,20 @@ class TcpTransport:
         self.low_water = low_water
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Coalesced-ack policy: an inbound connection acks after every
+        #: ``ack_every`` message frames, or ``ack_delay`` seconds after
+        #: the first unacked frame, whichever comes first (plus a final
+        #: ack at connection teardown) — instead of one ack per read.
+        self.ack_every = ack_every
+        self.ack_delay = ack_delay
+        #: Writer flush batching: cap on frames / bytes coalesced into a
+        #: single socket write.
+        self.flush_frames = flush_frames
+        self.flush_bytes = flush_bytes
+        #: Peer node id -> ``{"node", "wire", "codec"}`` from the last
+        #: ``__hello__`` received on an inbound connection (older peers
+        #: that do not advertise default to the legacy JSON wire).
+        self.negotiated: Dict[int, Dict[str, object]] = {}
         self.instruments = _Instruments(clock)
         self.receiver: Optional[Receiver] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -534,6 +620,26 @@ class TcpTransport:
         ack_codec = self.codec_factory()
         src: Optional[int] = None
         received = 0  # message frames on this connection, acked cumulatively
+        acked = 0  # highest cumulative count already acked
+        ack_timer: Optional[asyncio.TimerHandle] = None
+        loop = asyncio.get_running_loop()
+
+        def flush_ack() -> None:
+            """Write one cumulative ack covering every unacked frame.
+            Runs inline (threshold crossings, teardown) and from the
+            delayed-ack timer."""
+            nonlocal acked, ack_timer
+            if ack_timer is not None:
+                ack_timer.cancel()
+                ack_timer = None
+            if received <= acked or writer.is_closing():
+                return
+            frame = ack_codec.encode({"type": ACK_TYPE, "n": received})
+            writer.write(frame)
+            acked = received
+            self.instruments.acks[self.node_id] += 1
+            self.instruments._typed_byte_handle(self.node_id, ACK_TYPE)(len(frame))
+
         try:
             while self._running:
                 chunk = await reader.read(65536)
@@ -544,6 +650,11 @@ class TcpTransport:
                     if isinstance(message, dict):
                         if message.get("type") == HELLO_TYPE:
                             src = int(message["node"])
+                            self.negotiated[src] = {
+                                "node": src,
+                                "wire": str(message.get("wire", "json")),
+                                "codec": int(message.get("codec", 0)),
+                            }
                         continue
                     if src is None:
                         # Peer skipped the handshake; nothing sane to do.
@@ -561,12 +672,24 @@ class TcpTransport:
                                 src=src,
                                 error=repr(exc),
                             )
-                if received:
-                    writer.write(ack_codec.encode({"type": ACK_TYPE, "n": received}))
+                # Coalesced acks: one cumulative ack per ack_every
+                # frames, else a delayed ack so a quiet stream still
+                # confirms within ack_delay seconds.
+                if received - acked >= self.ack_every:
+                    flush_ack()
                     await writer.drain()
+                elif received > acked and ack_timer is None:
+                    ack_timer = loop.call_later(self.ack_delay, flush_ack)
         except (ConnectionError, OSError, ValueError, asyncio.CancelledError):
             pass
         finally:
+            if ack_timer is not None:
+                ack_timer.cancel()
+            try:
+                flush_ack()
+                await writer.drain()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
             writer.close()
             try:
                 await writer.wait_closed()

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import List, Union
 
 from .trace import ExecutionTrace, ProcessEvent
+from .wirepack import pack_message, unpack_message
 
 __all__ = [
     "trace_to_dict",
@@ -46,6 +47,8 @@ __all__ = [
     "detections_from_dicts",
     "message_to_dict",
     "message_from_dict",
+    "pack_message",
+    "unpack_message",
 ]
 
 _SCHEMA_VERSION = 1
@@ -203,11 +206,13 @@ def message_to_dict(message, *, include_parts: bool = True) -> dict:
     """JSON-ready form of any :mod:`repro.sim.messages` dataclass.
 
     Every message type round-trips exactly through
-    :func:`message_from_dict`; this is the payload layer of the
+    :func:`message_from_dict`; this is the JSON payload layer of the
     :class:`repro.net.FrameCodec` wire protocol, so the ``type`` tag is
-    part of the stable schema.  ``include_parts=False`` strips
-    aggregation provenance from interval payloads (the paper's wire
-    model ships bounds only; see ``payload_entries``).
+    part of the stable schema (the packed twin lives in
+    :mod:`repro.sim.wirepack` — same information, same round-trip
+    contract).  ``include_parts=False`` strips aggregation provenance
+    from interval payloads (the paper's wire model ships bounds only;
+    see ``payload_entries``).
     """
     from .messages import (
         AppMessage,

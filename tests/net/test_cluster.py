@@ -48,8 +48,9 @@ def _spec(**overrides) -> ClusterSpec:
 
 
 class TestEquivalence:
-    def test_socket_solutions_identical_to_simulator(self):
-        spec = _spec()
+    @pytest.mark.parametrize("wire", ["binary", "json"])
+    def test_socket_solutions_identical_to_simulator(self, wire):
+        spec = _spec(wire=wire)
         script = simulation_script(spec.tree(), seed=spec.seed, epochs=spec.epochs)
         assert script.reference, "reference run produced no detections"
 
@@ -90,7 +91,9 @@ class TestEquivalence:
 
 class TestKill:
     def test_leaf_kill_repairs_and_detection_continues(self):
-        spec = _spec(epochs=8)
+        # Explicitly pinned to the binary wire: repair and partial
+        # detection must survive a crash on the packed protocol too.
+        spec = _spec(epochs=8, wire="binary")
         victim = 5  # a leaf of the 7-node binary tree
 
         async def scenario():
@@ -141,7 +144,7 @@ class TestKill:
 
 class TestTcpSmall:
     def test_three_node_tcp_cluster_detects(self):
-        spec = _spec(nodes=3, transport="tcp", epochs=2)
+        spec = _spec(nodes=3, transport="tcp", epochs=2, wire="binary")
         script = simulation_script(spec.tree(), seed=spec.seed, epochs=spec.epochs)
         assert script.reference
 
@@ -150,16 +153,23 @@ class TestTcpSmall:
             await cluster.start()
             await cluster.run(until_detections=len(script.reference), timeout=60)
             await asyncio.sleep(0.2)
+            summary = cluster.wire_summary()
             await cluster.stop()
-            return cluster
+            return cluster, summary
 
-        cluster = run(scenario(), timeout=120)
+        cluster, summary = run(scenario(), timeout=120)
         assert solution_signatures(cluster.detections) == solution_signatures(
             script.reference
         )
         registry = cluster.telemetry.registry
         assert sum(registry.get("repro_net_frames_total").values()) > 0
         assert sum(registry.get("repro_net_bytes_sent_total").values()) > 0
+        # Every peer hello negotiated the packed wire, and the byte
+        # accounting saw the hot message type.
+        assert summary["wire"] == "binary" and summary["codec_version"] >= 1
+        assert summary["negotiated"]
+        assert all(h["wire"] == "binary" for h in summary["negotiated"].values())
+        assert summary["bytes_by_type"].get("IntervalReport", 0) > 0
 
 
 class TestSpecValidation:
@@ -170,3 +180,7 @@ class TestSpecValidation:
             ClusterSpec(degree=0)
         with pytest.raises(ValueError):
             ClusterSpec(transport="carrier-pigeon")
+
+    def test_bad_wire_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(wire="telepathy")

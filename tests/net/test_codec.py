@@ -6,7 +6,7 @@ import pytest
 
 from repro.intervals import Interval
 from repro.net import FrameCodec
-from repro.net.codec import HELLO_TYPE
+from repro.net.codec import ACK_TYPE, HELLO_TYPE
 from repro.sim.messages import (
     AppMessage,
     AttachAccept,
@@ -228,3 +228,250 @@ class TestMetaBounds:
         rx = FrameCodec(max_meta=128)
         ((_, meta),) = rx.feed_meta(tx.encode(_report(), meta={"span": [0, 1]}))
         assert meta == {"span": [0, 1]}
+
+
+def _binary():
+    return FrameCodec(wire="binary")
+
+
+class TestBinaryWire:
+    """The packed wire: struct header + varint bodies, self-describing
+    frame by frame so either end may still speak legacy JSON."""
+
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_every_message_type_round_trips(self, message):
+        enc, dec = _binary(), _binary()
+        frame = enc.encode(message)
+        assert frame[0] == 0xB1
+        out = dec.decode(frame)
+        assert type(out) is type(message)
+        if isinstance(message, AppMessage):
+            assert out.payload == message.payload
+            assert out.piggyback.tolist() == message.piggyback.tolist()
+        elif isinstance(message, IntervalReport):
+            assert out.interval.key() == message.interval.key()
+            assert out.transport_seq == message.transport_seq
+        else:
+            assert out == message
+
+    def test_binary_stream_is_smaller_than_json(self):
+        # A cold raw frame can lose to JSON digits (8 bytes per int64
+        # vs a few characters), but over a report stream the varint
+        # pair schemes chain and the packed wire wins overall.
+        bin_codec, json_codec = _binary(), FrameCodec()
+        packed = plain = 0
+        clock = np.zeros(32, dtype=np.int64)
+        for seq in range(20):
+            clock[seq % 5] += 1
+            report = IntervalReport(
+                origin=1,
+                dest=0,
+                interval=Interval(owner=1, seq=seq, lo=clock.copy(), hi=clock + 1),
+                transport_seq=seq,
+            )
+            packed += len(bin_codec.encode(report))
+            plain += len(json_codec.encode(report))
+        assert packed < plain
+
+    def test_byte_by_byte_feed_reassembles(self):
+        enc, dec = _binary(), _binary()
+        frames = b"".join(enc.encode(Heartbeat(sender=i)) for i in range(3))
+        got = []
+        for i in range(len(frames)):
+            got.extend(dec.feed(frames[i : i + 1]))
+        assert [m.sender for m in got] == [0, 1, 2]
+        assert dec.pending_bytes == 0
+
+    def test_truncated_header_waits_for_more_bytes(self):
+        dec = _binary()
+        frame = _binary().encode(Heartbeat(sender=9))
+        assert dec.feed(frame[:3]) == []
+        assert dec.pending_bytes == 3
+        (out,) = dec.feed(frame[3:])
+        assert out.sender == 9
+
+    def test_mixed_wire_stream_interoperates(self):
+        # One decoder, alternating senders: frames are self-describing,
+        # so a json peer and a binary peer can share a buffer.
+        json_tx, bin_tx, rx = FrameCodec(), _binary(), FrameCodec()
+        stream = (
+            json_tx.encode(Heartbeat(sender=1))
+            + bin_tx.encode(Heartbeat(sender=2))
+            + json_tx.encode(DetachNotice(child=3))
+            + bin_tx.encode(AttachAccept(parent=4))
+        )
+        out = rx.feed(stream)
+        assert [type(m).__name__ for m in out] == [
+            "Heartbeat",
+            "Heartbeat",
+            "DetachNotice",
+            "AttachAccept",
+        ]
+
+    def test_hello_stays_legacy_json_on_binary_wire(self):
+        frame = _binary().encode(
+            {"type": HELLO_TYPE, "node": 3, "wire": "binary", "codec": 1}
+        )
+        assert not frame[0] & 0x80  # legacy length prefix, readable by v0 peers
+        out = FrameCodec().decode(frame)
+        assert out["wire"] == "binary"
+
+    def test_ack_goes_packed_on_binary_wire(self):
+        frame = _binary().encode({"type": ACK_TYPE, "n": 1 << 20})
+        assert frame[0] == 0xB1
+        assert len(frame) < 16
+        assert _binary().decode(frame) == {"type": ACK_TYPE, "n": 1 << 20}
+
+    def test_ack_stays_json_on_json_wire(self):
+        frame = FrameCodec().encode({"type": ACK_TYPE, "n": 5})
+        assert not frame[0] & 0x80
+        assert _binary().decode(frame) == {"type": ACK_TYPE, "n": 5}
+
+    def test_unsupported_version_byte_poisons_stream(self):
+        with pytest.raises(ValueError, match="version"):
+            _binary().feed(b"\xb2\x00\x00\x00\x00\x00\x00")
+
+    def test_unknown_flags_poison_stream(self):
+        import struct
+
+        frame = struct.pack(">BBBI", 0xB1, 2, 0x04, 1) + b"\x02"
+        with pytest.raises(ValueError, match="flags"):
+            _binary().feed(frame)
+
+    def test_trailing_garbage_after_body_poisons_stream(self):
+        import struct
+
+        good = _binary().encode(Heartbeat(sender=1))
+        _, tag, flags, length = struct.unpack_from(">BBBI", good)
+        bad = struct.pack(">BBBI", 0xB1, tag, flags, length + 2) + good[7:] + b"\x00\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            _binary().feed(bad)
+
+    def test_oversized_body_rejected_on_encode(self):
+        codec = FrameCodec(wire="binary", max_frame=64)
+        with pytest.raises(ValueError, match="max_frame"):
+            codec.encode(AppMessage(payload="x" * 256, piggyback=np.zeros(1, np.int64)))
+
+    def test_oversized_declared_length_poisons_stream(self):
+        import struct
+
+        dec = FrameCodec(wire="binary", max_frame=64)
+        with pytest.raises(ValueError, match="max_frame"):
+            dec.feed(struct.pack(">BBBI", 0xB1, 2, 0, 1 << 20) + b"x" * 8)
+
+    def test_escape_hatch_carries_unknown_types_as_json(self, monkeypatch):
+        # Simulate a message type the packer does not know: the frame
+        # must still go out behind a binary header, tagged TAG_JSON.
+        import repro.net.codec as codec_mod
+
+        monkeypatch.setattr(codec_mod, "pack_message", lambda *a, **k: None)
+        enc = _binary()
+        frame = enc.encode(Heartbeat(sender=7))
+        assert frame[0] == 0xB1 and frame[1] == 0  # TAG_JSON
+        monkeypatch.undo()
+        out = _binary().decode(frame)
+        assert isinstance(out, Heartbeat) and out.sender == 7
+
+    def test_reference_chain_round_trips_a_report_sequence(self):
+        enc, dec = _binary(), _binary()
+        rng = np.random.default_rng(11)
+        clock = np.zeros(16, dtype=np.int64)
+        for seq in range(40):
+            clock = clock + rng.integers(0, 3, size=16)
+            report = IntervalReport(
+                origin=1,
+                dest=0,
+                interval=Interval(owner=1, seq=seq, lo=clock.copy(), hi=clock + 1),
+                transport_seq=seq,
+            )
+            out = dec.decode(enc.encode(report))
+            assert out.interval.lo.tolist() == report.interval.lo.tolist()
+            assert out.interval.hi.tolist() == report.interval.hi.tolist()
+        assert enc.encodings["differential"] + enc.encodings["sparse"] > 0
+
+    def test_shape_change_resets_reference(self):
+        enc, dec = _binary(), _binary()
+        for n in (3, 5, 3):
+            report = _report(lo=[1] * n, hi=[2] * n)
+            out = dec.decode(enc.encode(report))
+            assert out.interval.lo.tolist() == [1] * n
+
+    def test_parts_survive_by_default_and_strip_when_lean(self):
+        part = _interval(owner=2, seq=0)
+        aggregate = Interval(
+            owner=1,
+            seq=0,
+            lo=part.lo,
+            hi=part.hi,
+            members=frozenset({1, 2}),
+            parts=(part,),
+        )
+        report = IntervalReport(origin=1, dest=0, interval=aggregate)
+
+        fat = _binary().decode(_binary().encode(report))
+        assert [p.key() for p in fat.interval.parts] == [part.key()]
+
+        lean = _binary().decode(
+            FrameCodec(wire="binary", include_parts=False).encode(report)
+        )
+        assert lean.interval.parts == ()
+        assert lean.interval.members == aggregate.members
+
+    def test_invalid_wire_name_rejected(self):
+        with pytest.raises(ValueError, match="wire"):
+            FrameCodec(wire="protobuf")
+
+
+class TestBinaryMeta:
+    """The ``_meta`` sidecar on the packed path: a flag bit plus a
+    length-prefixed JSON trailer, bounded exactly like the JSON path."""
+
+    def test_meta_round_trips(self):
+        tx, rx = _binary(), _binary()
+        frame = tx.encode(_report(), meta={"span": [1, 5]})
+        assert frame[0] == 0xB1 and frame[2] & 0x01
+        ((message, meta),) = rx.feed_meta(frame)
+        assert isinstance(message, IntervalReport)
+        assert meta == {"span": [1, 5]}
+
+    def test_absent_meta_decodes_as_none(self):
+        tx, rx = _binary(), _binary()
+        frame = tx.encode(Heartbeat(sender=2))
+        assert not frame[2] & 0x01
+        ((_, meta),) = rx.feed_meta(frame)
+        assert meta is None
+
+    def test_meta_survives_json_receiver(self):
+        # A binary sender's sidecar reaches a receiver built for json.
+        tx, rx = _binary(), FrameCodec()
+        ((_, meta),) = rx.feed_meta(tx.encode(_report(), meta={"span": [3, 7]}))
+        assert meta == {"span": [3, 7]}
+
+    def test_oversized_meta_rejected_on_encode(self):
+        codec = FrameCodec(wire="binary", max_meta=64)
+        with pytest.raises(ValueError, match="max_meta"):
+            codec.encode(_report(), meta={"blob": "x" * 256})
+
+    def test_oversized_meta_poisons_frame_on_decode(self):
+        tx = FrameCodec(wire="binary", max_meta=1 << 20)
+        rx = FrameCodec(max_meta=64)
+        frame = tx.encode(_report(), meta={"blob": "x" * 256})
+        with pytest.raises(ValueError, match="max_meta"):
+            rx.feed_meta(frame)
+
+    def test_truncated_sidecar_poisons_frame(self):
+        import struct
+
+        tx = _binary()
+        frame = tx.encode(_report(), meta={"span": [1, 2]})
+        _, tag, flags, length = struct.unpack_from(">BBBI", frame)
+        # Chop the last sidecar byte and re-declare the shorter length:
+        # the sidecar's own length prefix now points past the body.
+        body = frame[7:-1]
+        bad = struct.pack(">BBBI", 0xB1, tag, flags, len(body)) + body
+        with pytest.raises(ValueError, match="truncated _meta"):
+            _binary().feed_meta(bad)
+
+    def test_meta_frames_reject_meta(self):
+        with pytest.raises(ValueError):
+            _binary().encode({"type": ACK_TYPE, "n": 1}, meta={"span": [0, 0]})

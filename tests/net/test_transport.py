@@ -152,3 +152,121 @@ class TestTcp:
         clock = run(scenario())
         dropped = clock.telemetry.registry.get("repro_net_outbox_dropped_total")
         assert dropped[(0, "no-route")] == 1
+
+
+class TestAckCoalescing:
+    """Cumulative acks flush per ``ack_every`` frames or ``ack_delay``
+    seconds — never one ack per frame."""
+
+    def test_burst_produces_far_fewer_acks_than_frames(self):
+        frames = 300
+
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock)
+            b = TcpTransport(1, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            a.set_peers({1: b.address})
+            for _ in range(frames):
+                a.send(1, Heartbeat(sender=0))
+            # drain() returns once everything is *acked*, so the ack
+            # count below is final for the burst.
+            await a.drain()
+            await a.stop()
+            await b.stop()
+            return clock, got, b.ack_every
+
+        clock, got, ack_every = run(scenario())
+        assert len(got) == frames
+        registry = clock.telemetry.registry
+        acks = registry.get("repro_net_acks_total")[1]
+        assert 1 <= acks <= frames // ack_every + 2
+        # Every frame still confirmed end-to-end despite the coalescing.
+        assert registry.get("repro_net_send_latency_seconds").count == frames
+
+    def test_quiet_stream_confirmed_by_delayed_ack(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock)
+            b = TcpTransport(1, clock, ack_delay=0.01)
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            a.set_peers({1: b.address})
+            for _ in range(3):  # far below ack_every: only the timer acks
+                a.send(1, Heartbeat(sender=0))
+            await a.drain()  # waits for the delayed ack to land
+            await a.stop()
+            await b.stop()
+            return clock, got
+
+        clock, got = run(scenario())
+        assert len(got) == 3
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_acks_total")[1] >= 1
+        assert registry.get("repro_net_send_latency_seconds").count == 3
+
+    def test_knob_validation(self):
+        clock = AsyncClock()
+        for bad in (
+            dict(ack_every=0),
+            dict(flush_frames=0),
+            dict(flush_bytes=0),
+        ):
+            with pytest.raises(ValueError):
+                TcpTransport(0, clock, **bad)
+
+
+class TestNegotiation:
+    def test_hello_records_peer_wire_and_codec(self):
+        from repro.net import CODEC_VERSION, FrameCodec
+
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(
+                0, clock, codec_factory=lambda: FrameCodec(wire="binary")
+            )
+            b = TcpTransport(1, clock)  # default json wire
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            a.set_peers({1: b.address})
+            b.set_peers({0: a.address})
+            a.send(1, Heartbeat(sender=0))
+            b.send(0, Heartbeat(sender=1))
+            while not (a.negotiated.get(1) and b.negotiated.get(0)):
+                await asyncio.sleep(0.01)
+            await a.stop()
+            await b.stop()
+            return a.negotiated, b.negotiated
+
+        a_saw, b_saw = run(scenario())
+        assert b_saw[0] == {"node": 0, "wire": "binary", "codec": CODEC_VERSION}
+        assert a_saw[1] == {"node": 1, "wire": "json", "codec": CODEC_VERSION}
+
+    def test_bytes_accounted_per_frame_type(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(0, clock)
+            b = TcpTransport(1, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            a.set_peers({1: b.address})
+            for _ in range(4):
+                a.send(1, Heartbeat(sender=0))
+            await a.drain()
+            await a.stop()
+            await b.stop()
+            return clock
+
+        clock = run(scenario())
+        by_type = clock.telemetry.registry.get("repro_net_bytes_total")
+        assert by_type[(0, "Heartbeat")] > 0  # sender side, per message type
+        assert by_type[(1, "__ack__")] > 0  # receiver side ack traffic

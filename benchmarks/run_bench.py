@@ -59,6 +59,12 @@ SCHEMA_OBS = "repro-bench/2"
 #: a schema bump for the same reason.
 SCHEMA_NET = "repro-bench/2"
 
+#: The load benchmark (``BENCH_load.json``) starts life on the current
+#: schema generation: an offered-load sweep with latency percentiles per
+#: point, an identified saturation knee, and determinism + reference
+#: gates.
+SCHEMA_LOAD = "repro-bench/2"
+
 #: The last ``repro-bench/1`` net baseline (paced JSON loopback replay)
 #: — the denominator of the binary wire's gated speedup.
 JSON_BASELINE_FRAMES_PER_S = 904.0094831288743
@@ -1032,6 +1038,289 @@ def bench_obs(args) -> dict:
 
 
 # ----------------------------------------------------------------------
+# traffic plane: offered-load sweep + saturation knee
+# ----------------------------------------------------------------------
+def _validate_load(doc: dict) -> None:
+    """Schema + behaviour gate for ``BENCH_load.json``
+    (``repro-bench/2``).  Fails the bench when the shape regresses, when
+    the sweep is too small to show a knee, when any run fails to drain
+    (shedding must protect liveness, not replace it with deadlock), when
+    any admitted subset diverges from the centralized reference, or when
+    the accounting identity offered = admitted + shed breaks."""
+    if doc.get("schema") != SCHEMA_LOAD:
+        raise ValueError(
+            f"load schema must be {SCHEMA_LOAD}, got {doc.get('schema')!r}"
+        )
+    for field in ("sweep", "saturation_knee", "closed_loop", "cluster", "determinism"):
+        if field not in doc:
+            raise ValueError(f"load payload missing {field!r}")
+    points = doc["sweep"]["points"]
+    if len(points) < 4:
+        raise ValueError(f"load sweep needs >= 4 points, got {len(points)}")
+    for point in points:
+        for field in ("rate", "offered", "admitted", "shed", "sojourn", "goodput_per_s"):
+            if field not in point:
+                raise ValueError(f"load sweep point missing {field!r}")
+        if point["offered"] != point["admitted"] + point["shed"]:
+            raise ValueError(
+                f"accounting identity broken at rate {point['rate']}: "
+                f"{point['offered']} != {point['admitted']} + {point['shed']}"
+            )
+        if not point["drained"]:
+            raise ValueError(
+                f"run at rate {point['rate']} did not drain — the cluster "
+                "must shed under overload, not deadlock"
+            )
+        if not point["reference_match"]:
+            raise ValueError(
+                f"admitted subset at rate {point['rate']} diverged from the "
+                "centralized reference detector"
+            )
+    if doc["saturation_knee"] is None:
+        raise ValueError(
+            "no saturation knee identified — the sweep's top rate must "
+            "drive the admission gate into shedding"
+        )
+    if not any(point["shed"] > 0 for point in points):
+        raise ValueError("no sweep point shed any offers; raise the top rate")
+    if not doc["determinism"]["all_identical"]:
+        raise ValueError("load determinism gate failed (same seed, different counts)")
+    if not doc["cluster"]["reference_match"]:
+        raise ValueError("live cluster run diverged from the centralized reference")
+    if not doc["cluster"]["drained"]:
+        raise ValueError("live cluster run did not drain under overload")
+
+
+def _find_knee(points) -> "dict | None":
+    """The saturation knee: the first sweep point that sheds, or — for
+    sweeps whose gate never engages — the first whose p95 sojourn blows
+    past 4x the lightest point's (queueing-delay takeoff)."""
+    for point in points:
+        if point["shed"] > 0:
+            return {"rate": point["rate"], "signal": "shedding"}
+    base = points[0]["sojourn"]["p95"]
+    if base:
+        for point in points[1:]:
+            p95 = point["sojourn"]["p95"]
+            if p95 is not None and p95 > 4.0 * base:
+                return {"rate": point["rate"], "signal": "latency"}
+    return None
+
+
+def bench_load(args) -> dict:
+    """The ``repro.load`` baseline: what the detection cluster does as
+    offered load crosses its service capacity.
+
+    * **sweep** — open-loop Poisson traffic at increasing offered rates
+      through the virtual-time twin (:func:`repro.load.run_traffic`:
+      same session/dispatch/admission code as the live cluster, the
+      centralized sink as detector behind a fixed service delay).  Each
+      point records offered/admitted/shed, sojourn p50/p95/p99 and
+      goodput; the **saturation knee** is the first point where the
+      admission gate sheds (or p95 takes off).
+    * **closed_loop** — the same cluster under virtual users: offered
+      load self-limits, so shedding stays marginal no matter how many
+      users pile on — the open/closed contrast the load docs discuss.
+    * **cluster** — a live loopback 7-node cluster driven past
+      saturation through the full socket stack: must shed, must drain,
+      and the detections on the admitted subset must match the
+      centralized reference replay.
+    * **determinism** — the same seed re-run must reproduce identical
+      offered/admitted/shed counts and per-target admissions, in both
+      the open- and closed-loop models.
+    """
+    import asyncio
+
+    from repro.load import LoadSpec, run_traffic
+    from repro.monitor import HeartbeatSpec
+    from repro.net import ClusterSpec, LocalCluster
+
+    # regular(2, 3) is the 7-node tree every other bench uses.
+    degree, height = 2, 3
+    total_offers = 140 if args.quick else 420
+    rates = [150.0, 400.0, 1200.0, 4000.0] if args.quick else [
+        100.0, 300.0, 800.0, 2000.0, 6000.0,
+    ]
+    service_time = 0.005
+    base = LoadSpec(
+        mode="open",
+        total_offers=total_offers,
+        max_outstanding=16,
+        resume_outstanding=8,
+        pending_timeout=2.0,
+        start_delay=0.0,
+    )
+
+    def sweep_point(rate: float) -> dict:
+        result = run_traffic(
+            base,
+            seed=args.timing_seed,
+            degree=degree,
+            height=height,
+            service_time=service_time,
+            rate=rate,
+        )
+        summary = result["summary"]
+        duration = result["virtual_duration"]
+        return {
+            "rate": rate,
+            "offered": summary["offered"],
+            "admitted": summary["admitted"],
+            "shed": summary["shed"],
+            "shed_by_reason": summary["shed_by_reason"],
+            "completed": summary["completed"],
+            "abandoned": summary["abandoned"],
+            "sojourn": summary["sojourn"],
+            "goodput_per_s": summary["completed"] / duration if duration else 0.0,
+            "virtual_duration_s": duration,
+            "drained": result["drained"],
+            "reference_match": result["reference_match"],
+        }
+
+    points = [sweep_point(rate) for rate in rates]
+    knee = _find_knee(points)
+
+    # -- closed loop: offered load self-limits -------------------------
+    closed_spec = LoadSpec(
+        mode="closed",
+        users=32,
+        think_time=0.002,
+        total_offers=total_offers,
+        max_outstanding=16,
+        resume_outstanding=8,
+        pending_timeout=2.0,
+        start_delay=0.0,
+    )
+    closed = run_traffic(
+        closed_spec,
+        seed=args.timing_seed,
+        degree=degree,
+        height=height,
+        service_time=service_time,
+    )
+
+    # -- determinism: same seed, same counts ---------------------------
+    def fingerprint(result: dict) -> dict:
+        return {
+            "summary": result["summary"],
+            "admitted_by_target": result["admitted_by_target"],
+            "virtual_duration": result["virtual_duration"],
+        }
+
+    open_again = run_traffic(
+        base,
+        seed=args.timing_seed,
+        degree=degree,
+        height=height,
+        service_time=service_time,
+        rate=rates[-1],
+    )
+    open_first = run_traffic(
+        base,
+        seed=args.timing_seed,
+        degree=degree,
+        height=height,
+        service_time=service_time,
+        rate=rates[-1],
+    )
+    closed_again = run_traffic(
+        closed_spec,
+        seed=args.timing_seed,
+        degree=degree,
+        height=height,
+        service_time=service_time,
+    )
+    open_identical = fingerprint(open_first) == fingerprint(open_again)
+    closed_identical = fingerprint(closed) == fingerprint(closed_again)
+
+    # -- live loopback cluster past saturation -------------------------
+    cluster_offers = 120 if args.quick else 240
+    cluster_spec = ClusterSpec(
+        nodes=7,
+        degree=2,
+        seed=args.timing_seed,
+        transport="loopback",
+        heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
+        load=LoadSpec(
+            mode="open",
+            rate=3000.0,
+            total_offers=cluster_offers,
+            max_outstanding=14,
+            resume_outstanding=7,
+            pending_timeout=3.0,
+            start_delay=0.05,
+        ),
+    )
+
+    async def cluster_run() -> dict:
+        cluster = LocalCluster(cluster_spec)
+        await cluster.start()
+        t0 = time.perf_counter()
+        await cluster.run(until_load_drained=True, timeout=120)
+        elapsed = time.perf_counter() - t0
+        summary = cluster.load_summary()
+        reference_match = cluster.load_session.reference_match(cluster.detections)
+        drained = cluster.load_session.done
+        await cluster.stop()
+        return {
+            "rate": cluster_spec.load.rate,
+            "offered": summary["offered"],
+            "admitted": summary["admitted"],
+            "shed": summary["shed"],
+            "shed_by_reason": summary["shed_by_reason"],
+            "completed": summary["completed"],
+            "abandoned": summary["abandoned"],
+            "sojourn": summary["sojourn"],
+            "detections": len(cluster.detections),
+            "elapsed_s": elapsed,
+            "drained": drained,
+            "reference_match": reference_match,
+        }
+
+    cluster_section = asyncio.run(cluster_run())
+
+    doc = {
+        "schema": SCHEMA_LOAD,
+        "benchmark": "load",
+        "quick": args.quick,
+        "params": {
+            "tree_degree": degree,
+            "tree_height": height,
+            "nodes": 7,
+            "total_offers": total_offers,
+            "service_time_s": service_time,
+            "max_outstanding": base.max_outstanding,
+            "resume_outstanding": base.resolved_resume,
+            "arrival": base.arrival,
+            "dispatch": base.dispatch,
+            "policy": base.policy,
+            "zipf_s": base.zipf_s,
+            "seed": args.timing_seed,
+        },
+        "sweep": {"rates": rates, "points": points},
+        "saturation_knee": knee,
+        "closed_loop": {
+            "users": closed_spec.users,
+            "think_time_s": closed_spec.think_time,
+            "offered": closed["summary"]["offered"],
+            "admitted": closed["summary"]["admitted"],
+            "shed": closed["summary"]["shed"],
+            "sojourn": closed["summary"]["sojourn"],
+            "drained": closed["drained"],
+            "reference_match": closed["reference_match"],
+        },
+        "cluster": cluster_section,
+        "determinism": {
+            "all_identical": open_identical and closed_identical,
+            "open_identical": open_identical,
+            "closed_identical": closed_identical,
+        },
+    }
+    _validate_load(doc)
+    return doc
+
+
+# ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
@@ -1076,7 +1365,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("core_ops", "hierarchy", "parallel", "net", "obs"),
+        choices=("core_ops", "hierarchy", "parallel", "net", "obs", "load"),
         default=None,
         help="run a single benchmark instead of the default set",
     )
@@ -1088,6 +1377,7 @@ def main(argv=None) -> int:
         "parallel": ("BENCH_parallel.json", bench_parallel),
         "net": ("BENCH_net.json", bench_net),
         "obs": ("BENCH_obs.json", bench_obs),
+        "load": ("BENCH_load.json", bench_load),
     }
     if args.only:
         selected = [args.only]
@@ -1106,6 +1396,13 @@ def main(argv=None) -> int:
             headline = (
                 f"frames_per_s={payload['frames_per_s']:.0f} "
                 f"p50_latency={payload['detection_latency_s']['p50'] * 1e3:.1f}ms"
+            )
+        elif "saturation_knee" in payload:
+            knee = payload["saturation_knee"]
+            shed = sum(p["shed"] for p in payload["sweep"]["points"])
+            headline = (
+                f"knee_at={knee['rate']:g}/s ({knee['signal']}) "
+                f"points={len(payload['sweep']['points'])} shed_total={shed}"
             )
         else:
             headline = (

@@ -1,0 +1,88 @@
+"""Per-offer sojourn accounting for the traffic plane.
+
+An offer's *sojourn* is the wall (or virtual) time from admission — the
+moment the admission controller lets it through to a node runtime — to
+the root detection that consumes its interval.  :class:`LatencyStore`
+keeps the pending map keyed by ``(owner, seq)`` (the identity a concrete
+interval carries through hierarchical aggregation, so a root solution's
+``concrete_leaves`` match back to the admitted offers) and folds every
+completed sojourn into a ``repro_load_sojourn_seconds`` histogram.
+
+Offers whose epoch never completes — a sibling was shed, a node died —
+must not pin the closed-loop generator forever: :meth:`expire` sweeps
+pending entries older than the admission timeout so the caller can count
+them abandoned and release their virtual users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LOAD_SOJOURN_BUCKETS", "LatencyStore"]
+
+#: Sojourn histogram buckets (seconds): loopback epochs complete in
+#: milliseconds; the tail covers saturated queues and defer storms.
+LOAD_SOJOURN_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, float("inf"),
+)
+
+Key = Tuple[int, int]  # (owner pid, interval seq)
+
+
+class LatencyStore:
+    """Pending admissions plus the sojourn histogram they resolve into."""
+
+    def __init__(
+        self, registry, *, name: str = "repro_load_sojourn_seconds"
+    ) -> None:
+        self.histogram = registry.histogram(
+            name,
+            "Admission-to-detection sojourn of admitted offers.",
+            LOAD_SOJOURN_BUCKETS,
+        )
+        self._pending: Dict[Key, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def admit(self, key: Key, now: float) -> None:
+        if key in self._pending:
+            raise ValueError(f"offer {key} already pending")
+        self._pending[key] = now
+
+    def complete(self, key: Key, now: float) -> Optional[float]:
+        """Resolve *key* if pending; returns the observed sojourn (and
+        records it) or ``None`` for unknown/duplicate completions."""
+        admitted_at = self._pending.pop(key, None)
+        if admitted_at is None:
+            return None
+        sojourn = max(0.0, now - admitted_at)
+        self.histogram.observe(sojourn)
+        return sojourn
+
+    def expire(self, now: float, timeout: float) -> List[Key]:
+        """Drop and return every pending key admitted more than
+        *timeout* ago (oldest first).  Expired sojourns are *not*
+        recorded — the histogram reports completed offers only."""
+        expired = sorted(
+            (admitted_at, key)
+            for key, admitted_at in self._pending.items()
+            if now - admitted_at > timeout
+        )
+        for _, key in expired:
+            del self._pending[key]
+        return [key for _, key in expired]
+
+    # ------------------------------------------------------------------
+    def percentiles(self) -> dict:
+        """The summary block's latency row: completed-offer sojourn
+        p50/p95/p99 (``None`` until anything completes)."""
+        return {
+            "count": self.histogram.count,
+            "p50": self.histogram.percentile(50.0),
+            "p95": self.histogram.percentile(95.0),
+            "p99": self.histogram.percentile(99.0),
+        }

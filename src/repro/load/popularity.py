@@ -1,0 +1,67 @@
+"""Zipf popularity: who the traffic actually hits.
+
+Real fleets are never uniformly loaded — a handful of processes absorb
+most of the offered load.  :class:`ZipfSampler` models that with the
+standard finite Zipf (zeta) distribution over ranks ``0 .. n-1``:
+
+    P(rank = k)  ∝  1 / (k + 1)**s
+
+``s = 0`` degenerates to uniform; ``s ≈ 1`` is the classic web-request
+skew; larger ``s`` concentrates traffic further.  Sampling is
+inverse-CDF over a precomputed cumulative table (one uniform draw + one
+``searchsorted`` per sample), so a stream of draws is a pure function of
+the generator handed in — the traffic plane routes every popularity
+decision through a named deterministic rng stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Finite Zipf distribution over ``n`` ranks with exponent ``s``."""
+
+    def __init__(self, n: int, s: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError("ZipfSampler needs at least one rank")
+        if s < 0:
+            raise ValueError("zipf exponent s must be >= 0")
+        self.n = n
+        self.s = s
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), s)
+        self.pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self.pmf)
+        self._cdf[-1] = 1.0  # guard against float round-off at the tail
+
+    def share(self, rank: int) -> float:
+        """The long-run traffic fraction of *rank* (0 = hottest)."""
+        return float(self.pmf[rank])
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """One rank, by inverse-CDF (one uniform draw)."""
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` ranks in one vectorized draw (same per-draw stream
+        consumption as ``size`` calls to :meth:`sample` would *not* be —
+        use one or the other consistently per stream)."""
+        return np.searchsorted(self._cdf, rng.random(size), side="right").astype(int)
+
+    def weights_for(self, targets: Sequence[int]) -> dict:
+        """Map sorted *targets* onto the pmf: the r-th smallest id gets
+        rank r's share — the default weight table for the ``weighted``
+        dispatch policy."""
+        ordered = sorted(targets)
+        if len(ordered) != self.n:
+            raise ValueError(
+                f"sampler has {self.n} ranks but got {len(ordered)} targets"
+            )
+        return {pid: float(self.pmf[rank]) for rank, pid in enumerate(ordered)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ZipfSampler(n={self.n}, s={self.s})"

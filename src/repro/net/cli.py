@@ -85,6 +85,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="wall seconds between a node's successive interval offers",
     )
+    load = run.add_argument_group("traffic plane (repro.load)")
+    load.add_argument(
+        "--load",
+        choices=("open", "closed"),
+        default=None,
+        help="drive offers through the load plane — open (rate-driven) or "
+        "closed (virtual users) — instead of the fixed-spacing replay",
+    )
+    load.add_argument(
+        "--load-rate",
+        type=float,
+        default=200.0,
+        metavar="PER_S",
+        help="open loop: offered load in offers/second (default 200)",
+    )
+    load.add_argument(
+        "--load-arrival",
+        choices=("poisson", "uniform", "bursty"),
+        default="poisson",
+        help="open loop: interarrival model (default poisson)",
+    )
+    load.add_argument(
+        "--load-users",
+        type=int,
+        default=8,
+        help="closed loop: virtual user count (default 8)",
+    )
+    load.add_argument(
+        "--load-think",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="closed loop: mean think time between offers (default 0.05)",
+    )
+    load.add_argument(
+        "--load-offers",
+        type=int,
+        default=200,
+        help="total offers to issue (default 200)",
+    )
+    load.add_argument(
+        "--load-zipf",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="popularity skew exponent (0 = uniform; default 1.1)",
+    )
+    load.add_argument(
+        "--load-dispatch",
+        choices=("round_robin", "least_outstanding", "weighted", "affinity"),
+        default="round_robin",
+        help="dispatch policy routing offers to nodes (default round_robin)",
+    )
+    load.add_argument(
+        "--load-policy",
+        choices=("shed", "defer"),
+        default="shed",
+        help="what admission does at saturation (default shed)",
+    )
+    load.add_argument(
+        "--load-max-outstanding",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission high watermark on outstanding offers (default 64; "
+        "must be at least the node count)",
+    )
+    load.add_argument(
+        "--load-pending-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="abandon admitted offers undetected after this long (default 5)",
+    )
     stop = run.add_argument_group("stopping conditions")
     stop.add_argument(
         "--duration", type=float, default=None, help="run for this many wall seconds"
@@ -231,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 # run
 # ----------------------------------------------------------------------
 async def _run_cluster(args) -> dict:
+    from ..load import LoadSpec
     from ..monitor.spec import SLOSpec
     from .cluster import ClusterSpec, LocalCluster
 
@@ -239,6 +314,21 @@ async def _run_cluster(args) -> dict:
         repair_duration=args.slo_repair_duration,
         outbox_depth=args.slo_outbox_depth,
     )
+    load_spec = None
+    if args.load is not None:
+        load_spec = LoadSpec(
+            mode=args.load,
+            rate=args.load_rate,
+            arrival=args.load_arrival,
+            users=args.load_users,
+            think_time=args.load_think,
+            total_offers=args.load_offers,
+            zipf_s=args.load_zipf,
+            dispatch=args.load_dispatch,
+            policy=args.load_policy,
+            max_outstanding=args.load_max_outstanding,
+            pending_timeout=args.load_pending_timeout,
+        )
     spec = ClusterSpec(
         nodes=args.nodes,
         degree=args.degree,
@@ -256,6 +346,7 @@ async def _run_cluster(args) -> dict:
         span_capacity=args.span_capacity,
         profile=args.profile,
         profile_interval=args.profile_interval,
+        load=load_spec,
     )
     cluster = LocalCluster(spec)
     summary: dict = {"spec": {"nodes": spec.nodes, "degree": spec.degree,
@@ -265,7 +356,10 @@ async def _run_cluster(args) -> dict:
         await cluster.start()
         await cluster.run(
             duration=args.duration,
-            until_detections=args.until_detections,
+            # With a load session, "done" is the session draining (every
+            # offer issued and resolved), not a fixed detection count.
+            until_detections=None if load_spec else args.until_detections,
+            until_load_drained=load_spec is not None,
             timeout=args.timeout,
         )
         summary["detections_before_kill"] = len(cluster.detections)
@@ -322,6 +416,15 @@ async def _run_cluster(args) -> dict:
         uptime=round(cluster.clock.now, 3),
         wire=cluster.wire_summary(),
     )
+    if cluster.load_session is not None:
+        load_block = cluster.load_summary()
+        if args.kill_node is None:
+            # Fault-free runs must detect exactly what the centralized
+            # replay of the admitted subset says — shedding included.
+            load_block["reference_match"] = cluster.load_session.reference_match(
+                cluster.detections
+            )
+        summary["load"] = load_block
     # Sampling accounting + per-alarm trace completeness, so a sampled
     # run can be asserted on ("the kill's alarm still explains down to
     # leaf intervals") without re-scraping.

@@ -89,7 +89,13 @@ class AsyncClock:
     @property
     def now(self) -> float:
         if self._loop is None:
-            return 0.0
+            # Bind on first in-loop read, not just on first schedule():
+            # bare transports (no runtime, no timers) still need real
+            # elapsed time for congestion accounting.
+            try:
+                self._ensure_loop()
+            except RuntimeError:
+                return 0.0
         return self._loop.time() - self._origin
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..detect.roles import DetectionRecord
 from ..fault.coordinator import RepairCoordinator
+from ..load import LoadSession, LoadSpec
 from ..monitor.spec import HeartbeatSpec, SLOSpec
 from ..obs.cluster import ClusterView, TelemetryAggregator, scrape_local
 from ..obs.export import _jsonable
@@ -111,6 +112,10 @@ class ClusterSpec:
     interval_spacing: float = 0.02
     #: wall seconds between cluster start and the first offer
     start_delay: float = 0.2
+    #: traffic plane (see :mod:`repro.load`): when set, offers come from
+    #: a :class:`~repro.load.LoadSession` — generator → dispatch →
+    #: admission — instead of the fixed-spacing script replay
+    load: Optional[LoadSpec] = None
     #: TCP port for the admin endpoint (None disables it)
     admin_port: Optional[int] = None
     #: directory for flight-recorder snapshots (None disables recording)
@@ -253,6 +258,9 @@ class LocalCluster:
         self._slo_handle: Optional[object] = None
         self._slo_latched: set = set()
         self.profiler: Optional[SamplingProfiler] = None
+        #: the traffic plane, when ``spec.load`` asked for one
+        self.load_session: Optional[LoadSession] = None
+        self._congestion_unsubs: List = []
 
     def _sampler_for(self, pid: int) -> Optional[TraceSampler]:
         """The node's head sampler — ``None`` at rate 1.0 (keep all).
@@ -388,7 +396,10 @@ class LocalCluster:
 
         for runtime in self.runtimes.values():
             runtime.activate()
-        self._schedule_offers()
+        if self.spec.load is not None:
+            self._start_load()
+        else:
+            self._schedule_offers()
         if self.spec.admin_port is not None:
             self._admin_server = await asyncio.start_server(
                 self._handle_admin, host=self.spec.host, port=self.spec.admin_port
@@ -437,19 +448,79 @@ class LocalCluster:
                     )
                 )
 
+    # ------------------------------------------------------------------
+    # traffic plane
+    # ------------------------------------------------------------------
+    def _start_load(self) -> None:
+        """Stand up the :class:`~repro.load.LoadSession` in place of the
+        fixed-spacing replay: offers route through dispatch + admission
+        into ``offer_local``, completions come back via
+        :meth:`_on_detection`, and the transports' congestion edges feed
+        the admission gate through the cluster log."""
+        self.load_session = LoadSession(
+            self.clock,
+            self.spec.load,
+            self.script.streams,
+            lambda pid, interval: self.runtimes[pid].offer_local(interval),
+            registry=self.clock.telemetry.registry,
+            alive=self.is_alive,
+            congestion_probe=self._uplink_congested,
+        )
+        # ClockScope.emit forwards every node's events to the cluster
+        # log, so one subscription sees all transports' watermark edges.
+        self._congestion_unsubs = [
+            self.clock.log.subscribe(
+                "net_congested", lambda r: self._note_congestion(r, True)
+            ),
+            self.clock.log.subscribe(
+                "net_uncongested", lambda r: self._note_congestion(r, False)
+            ),
+        ]
+        self.load_session.start()
+
+    def _uplink_congested(self, pid: int) -> bool:
+        """Admission's snapshot probe: does *pid* currently hold any
+        peer link above its high watermark?"""
+        runtime = self.runtimes.get(pid)
+        if runtime is None:
+            return False
+        peers = getattr(runtime.transport, "congested_peers", None)
+        return bool(peers()) if peers is not None else False
+
+    def _note_congestion(self, record, congested: bool) -> None:
+        if self.load_session is None or record.node is None:
+            return
+        # A node with several peer links only leaves the congested set
+        # once the *last* backed-up link drains below low water.
+        if not congested and self._uplink_congested(record.node):
+            return
+        self.load_session.admission.note_congestion(record.node, congested)
+
+    def load_summary(self) -> Optional[dict]:
+        """The run's traffic accounting (``None`` without a load spec):
+        offered/admitted/shed/deferred counts plus sojourn percentiles —
+        the summary's ``load`` block, next to ``wire``."""
+        if self.load_session is None:
+            return None
+        return self.load_session.summary()
+
     def _on_detection(self, record: DetectionRecord) -> None:
         self.detections.append(record)
+        if self.load_session is not None:
+            self.load_session.notify_detection(record)
 
     async def run(
         self,
         *,
         duration: Optional[float] = None,
         until_detections: Optional[int] = None,
+        until_load_drained: bool = False,
         timeout: float = 60.0,
         poll: float = 0.01,
     ) -> None:
-        """Let the cluster run: for a fixed wall duration, and/or until
-        a detection count is reached (bounded by *timeout*)."""
+        """Let the cluster run: for a fixed wall duration, until a
+        detection count is reached, and/or until the load session has
+        issued and resolved every offer (each bounded by *timeout*)."""
         start = self.clock.now
         if duration is not None:
             await asyncio.sleep(duration)
@@ -459,6 +530,18 @@ class LocalCluster:
                     raise TimeoutError(
                         f"cluster reached {len(self.detections)} detections "
                         f"(< {until_detections}) within {timeout}s"
+                    )
+                await asyncio.sleep(poll)
+        if until_load_drained:
+            if self.load_session is None:
+                raise RuntimeError("run(until_load_drained=) needs spec.load")
+            while not self.load_session.done:
+                if self.clock.now - start > timeout:
+                    counts = self.load_session.counts
+                    raise TimeoutError(
+                        f"load session not drained within {timeout}s "
+                        f"(offered={counts['offered']}, "
+                        f"outstanding={self.load_session.outstanding})"
                     )
                 await asyncio.sleep(poll)
 
@@ -480,6 +563,11 @@ class LocalCluster:
         if self._stopped:
             return
         self._stopped = True
+        if self.load_session is not None:
+            self.load_session.stop()
+        for unsubscribe in self._congestion_unsubs:
+            unsubscribe()
+        self._congestion_unsubs = []
         for handle in self._offer_handles:
             handle.cancel()
         if self._slo_handle is not None:

@@ -159,6 +159,13 @@ class _Instruments:
             "Cumulative ack frames written by inbound handlers.",
             ("node",),
         )
+        self.congested_seconds = registry.counter_vec(
+            "repro_net_congested_seconds_total",
+            "Wall seconds a peer link spent above its congestion "
+            "watermark (accumulated on each uncongest edge and at "
+            "link teardown).",
+            ("node", "peer"),
+        )
         # Per-frame accounting runs once per message on the wire, so
         # label keys are resolved once and the bound handles cached.
         self._frame_handles: Dict[tuple, Callable[..., None]] = {}
@@ -230,16 +237,34 @@ class LoopbackTransport:
         clock,
         *,
         codec_factory: Callable[[], FrameCodec] = FrameCodec,
+        max_outbox: int = 4096,
+        high_water: int = 1024,
+        low_water: int = 256,
     ) -> None:
+        if not 0 < low_water <= high_water <= max_outbox:
+            raise ValueError(
+                "watermarks must satisfy 0 < low_water <= high_water <= max_outbox"
+            )
         self.node_id = node_id
         self.hub = hub
         self.clock = clock
         self.codec_factory = codec_factory
+        #: Same bounded-outbox contract as :class:`TcpTransport` (same
+        #: defaults, same events, same drop reason) over the per-tick
+        #: flush buffer: a burst that outruns one loop tick crosses the
+        #: high watermark, overflows drop at ``max_outbox``, and the
+        #: tick's flush empties the buffer — which is at or below
+        #: ``low_water``, the uncongest edge.
+        self.max_outbox = max_outbox
+        self.high_water = high_water
+        self.low_water = low_water
         self.instruments = _Instruments(clock)
         self.receiver: Optional[Receiver] = None
         self._encoders: Dict[int, FrameCodec] = {}
         self._decoders: Dict[int, FrameCodec] = {}
         self._outbufs: Dict[int, bytearray] = {}
+        self._depths: Dict[int, int] = {}
+        self._congested_since: Dict[int, float] = {}
         self._flush_scheduled: set = set()
         self._running = False
 
@@ -252,6 +277,8 @@ class LoopbackTransport:
 
     async def stop(self) -> None:
         self._running = False
+        for dst in list(self._congested_since):
+            self._uncongest(dst)
         self.hub.detach(self.node_id)
 
     async def drain(self) -> None:
@@ -264,6 +291,20 @@ class LoopbackTransport:
         self._encoders.pop(peer, None)
         self._decoders.pop(peer, None)
         self._outbufs.pop(peer, None)
+        self._depths.pop(peer, None)
+        if peer in self._congested_since:
+            self._uncongest(peer)
+
+    def congested_peers(self) -> Tuple[int, ...]:
+        """Peers whose flush buffer currently sits above high water."""
+        return tuple(sorted(self._congested_since))
+
+    def _uncongest(self, dst: int) -> None:
+        since = self._congested_since.pop(dst)
+        self.instruments.congested_seconds[(self.node_id, dst)] += max(
+            0.0, self.clock.now - since
+        )
+        self.clock.emit("net_uncongested", node=self.node_id, peer=dst)
 
     def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:
         if not self._running:
@@ -271,6 +312,10 @@ class LoopbackTransport:
         peer = self.hub.transports.get(dst)
         if peer is None or not peer._running:
             self.instruments.dropped[(self.node_id, "peer-down")] += 1
+            return
+        depth = self._depths.get(dst, 0)
+        if depth >= self.max_outbox:
+            self.instruments.dropped[(self.node_id, "outbox-full")] += 1
             return
         codec = self._encoders.get(dst)
         if codec is None:
@@ -284,6 +329,14 @@ class LoopbackTransport:
         if buffer is None:
             buffer = self._outbufs[dst] = bytearray()
         buffer += frame
+        depth += 1
+        self._depths[dst] = depth
+        self.instruments.outbox_depth[(self.node_id, dst)] = depth
+        if depth >= self.high_water and dst not in self._congested_since:
+            self._congested_since[dst] = self.clock.now
+            self.clock.emit(
+                "net_congested", node=self.node_id, peer=dst, depth=depth
+            )
         if dst not in self._flush_scheduled:
             self._flush_scheduled.add(dst)
             asyncio.get_running_loop().call_soon(self._flush, dst)
@@ -291,6 +344,10 @@ class LoopbackTransport:
     def _flush(self, dst: int) -> None:
         self._flush_scheduled.discard(dst)
         data = self._outbufs.pop(dst, None)
+        self._depths[dst] = 0
+        self.instruments.outbox_depth[(self.node_id, dst)] = 0
+        if dst in self._congested_since:
+            self._uncongest(dst)
         if not data or not self._running:
             return
         peer = self.hub.transports.get(dst)
@@ -335,6 +392,7 @@ class _PeerLink:
         self.pending: List[Tuple[float, object, Optional[dict]]] = []
         self.wake = asyncio.Event()
         self.congested = False
+        self._congested_since: Optional[float] = None
         self.task: Optional[asyncio.Task] = None
         self.closing = False
         # Per-connection state: pending[:_sent] is written-but-unacked.
@@ -352,10 +410,21 @@ class _PeerLink:
         owner.instruments.outbox_depth[(owner.node_id, self.peer)] = depth
         if depth >= owner.high_water and not self.congested:
             self.congested = True
+            self._congested_since = owner.clock.now
             owner.clock.emit(
                 "net_congested", node=owner.node_id, peer=self.peer, depth=depth
             )
         self.wake.set()
+
+    def _settle_congestion(self) -> None:
+        """Fold the current congestion episode into the per-link
+        ``repro_net_congested_seconds_total`` counter."""
+        owner = self.owner
+        if self._congested_since is not None:
+            owner.instruments.congested_seconds[(owner.node_id, self.peer)] += max(
+                0.0, owner.clock.now - self._congested_since
+            )
+            self._congested_since = None
 
     def _after_pop(self) -> None:
         owner = self.owner
@@ -363,6 +432,7 @@ class _PeerLink:
         owner.instruments.outbox_depth[(owner.node_id, self.peer)] = depth
         if self.congested and depth <= owner.low_water:
             self.congested = False
+            self._settle_congestion()
             owner.clock.emit("net_uncongested", node=owner.node_id, peer=self.peer)
 
     # -- writer task ---------------------------------------------------
@@ -477,6 +547,7 @@ class _PeerLink:
 
     def close(self) -> None:
         self.closing = True
+        self._settle_congestion()
         self.wake.set()
         if self.task is not None:
             self.task.cancel()
@@ -598,6 +669,14 @@ class TcpTransport:
         link = self._links.pop(peer, None)
         if link is not None:
             link.close()
+
+    def congested_peers(self) -> Tuple[int, ...]:
+        """Peers whose outbound link currently sits above its high
+        watermark — the snapshot the traffic plane's admission gate
+        probes before pushing more offers at this node."""
+        return tuple(
+            sorted(peer for peer, link in self._links.items() if link.congested)
+        )
 
     # ------------------------------------------------------------------
     def send(self, dst: int, message: object, meta: Optional[dict] = None) -> None:

@@ -1,6 +1,7 @@
 """Workload generation: epoch waves, random chatter, predicate models,
 and the paper's scripted figure scenarios."""
 
+from .distributions import ARRIVAL_KINDS, InterarrivalSampler, exponential_gap
 from .generator import EpochConfig, EpochProcess, EpochWorkload, RandomWorkload
 from .predicates import PeriodicPhases, RandomToggle, ThresholdSensor
 from .regional import RegionalConfig, RegionalProcess, RegionalWorkload
@@ -14,9 +15,11 @@ from .scenarios import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "EpochConfig",
     "EpochProcess",
     "EpochWorkload",
+    "InterarrivalSampler",
     "PeriodicPhases",
     "RandomToggle",
     "RandomWorkload",
@@ -25,6 +28,7 @@ __all__ = [
     "RegionalWorkload",
     "ScriptedExecution",
     "ThresholdSensor",
+    "exponential_gap",
     "figure1_nested_execution",
     "figure1_staggered_execution",
     "figure2_execution",

@@ -30,6 +30,7 @@ from ..sim.network import Network
 from ..sim.process import DetectorRole, MonitoredProcess
 from ..sim.trace import ExecutionTrace
 from ..topology.spanning_tree import SpanningTree
+from .distributions import exponential_gap
 
 __all__ = ["EpochConfig", "EpochProcess", "EpochWorkload", "RandomWorkload"]
 
@@ -239,21 +240,23 @@ class RandomWorkload:
         rng = self.sim.rng("workload")
         for pid in sorted(self.processes):
             process = self.processes[pid]
-            # Pre-sample the whole toggle schedule for determinism.
-            t = float(rng.exponential(self.mean_off))
+            # Pre-sample the whole toggle schedule for determinism; gaps
+            # come from the shared distribution helper so the sim and
+            # the socket traffic plane (repro.load) sample identically.
+            t = exponential_gap(rng, self.mean_off)
             state = True
             while t < self.duration:
                 self.sim.schedule_at(
                     t,
                     lambda p=process, s=state: p.alive and p.set_predicate(s),
                 )
-                t += float(
-                    rng.exponential(self.mean_on if state else self.mean_off)
+                t += exponential_gap(
+                    rng, self.mean_on if state else self.mean_off
                 )
                 state = not state
             # Random chatter to graph neighbours.
             if self.msg_rate > 0:
-                t = float(rng.exponential(1.0 / self.msg_rate))
+                t = exponential_gap(rng, 1.0 / self.msg_rate)
                 while t < self.duration:
                     neighbours = sorted(process.network.graph.neighbors(pid))
                     if neighbours:
@@ -264,7 +267,7 @@ class RandomWorkload:
                             and p.network.is_alive(d)
                             and p.send_app(d, "chatter"),
                         )
-                    t += float(rng.exponential(1.0 / self.msg_rate))
+                    t += exponential_gap(rng, 1.0 / self.msg_rate)
         self.sim.schedule_at(self.duration + 1.0, self._finish_all)
 
     def _finish_all(self) -> None:

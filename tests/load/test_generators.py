@@ -1,0 +1,135 @@
+"""Open- and closed-loop generators against the virtual-time clock."""
+
+import pytest
+
+from repro.load import ClosedLoopGenerator, OpenLoopGenerator
+from repro.sim.kernel import Simulator
+
+
+def drain(sim, limit=100_000):
+    steps = 0
+    while sim.step():
+        steps += 1
+        assert steps < limit, "simulator did not drain"
+
+
+class TestOpenLoop:
+    def test_plan_is_a_pure_function_of_the_seed(self):
+        def build(seed):
+            gen = OpenLoopGenerator(
+                Simulator(seed=seed), [0, 1, 2], lambda o: None,
+                rate=100.0, total_offers=50,
+            )
+            return gen.plan()
+
+        assert build(7) == build(7)
+        assert build(7) != build(8)
+
+    def test_emits_exactly_total_offers_in_order(self):
+        sim = Simulator(seed=1)
+        seen = []
+        gen = OpenLoopGenerator(
+            sim, [0, 1], seen.append, rate=500.0, total_offers=40
+        )
+        gen.start(at=0.0)
+        assert not gen.done
+        drain(sim)
+        assert gen.done
+        assert [o.index for o in seen] == list(range(40))
+        assert all(o.user == -1 for o in seen)
+        assert all(o.home in (0, 1) for o in seen)
+        # issued_at carries the virtual arrival time, monotone by plan
+        times = [o.issued_at for o in seen]
+        assert times == sorted(times)
+
+    def test_stop_cancels_pending_arrivals(self):
+        sim = Simulator(seed=1)
+        seen = []
+        gen = OpenLoopGenerator(
+            sim, [0], seen.append, rate=100.0, total_offers=30
+        )
+        gen.start(at=0.0)
+        gen.stop()
+        drain(sim)
+        assert seen == []
+        assert gen.done
+
+    def test_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(sim, [0], lambda o: None, rate=0.0, total_offers=1)
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(sim, [0], lambda o: None, rate=1.0, total_offers=0)
+
+
+class TestClosedLoop:
+    def test_one_offer_in_flight_per_user(self):
+        sim = Simulator(seed=3)
+        pending = []
+        gen = ClosedLoopGenerator(
+            sim, [0, 1, 2], lambda o: pending.append(o),
+            users=4, total_offers=24, think_time=0.01,
+        )
+        gen.start(at=0.0)
+        issued = 0
+        max_parallel = 0
+        steps = 0
+        while not gen.done:
+            if not sim.step():
+                # generator waits on resolutions: resolve everything pending
+                assert pending, "closed loop stalled with nothing in flight"
+            max_parallel = max(max_parallel, len(pending))
+            # resolve in batches to exercise the release path
+            while pending:
+                issued += 1
+                gen.offer_resolved(pending.pop(), "completed")
+            steps += 1
+            assert steps < 100_000
+        assert issued == 24
+        assert max_parallel <= 4  # never more than one offer per user
+
+    def test_resolution_releases_the_user(self):
+        sim = Simulator(seed=5)
+        pending = []
+        gen = ClosedLoopGenerator(
+            sim, [0], lambda o: pending.append(o),
+            users=1, total_offers=3, think_time=0.01,
+        )
+        gen.start(at=0.0)
+        drain(sim)
+        assert len(pending) == 1  # user stuck until we resolve
+        gen.offer_resolved(pending.pop(), "completed")
+        drain(sim)
+        assert len(pending) == 1  # exactly one more, not a burst
+        gen.offer_resolved(pending.pop(), "shed")
+        drain(sim)
+        gen.offer_resolved(pending.pop(), "completed")
+        assert gen.done
+
+    def test_homes_are_fixed_per_user(self):
+        sim = Simulator(seed=9)
+        seen = []
+        gen = ClosedLoopGenerator(
+            sim, [0, 1, 2, 3], seen.append,
+            users=2, total_offers=10, think_time=0.005,
+        )
+        homes = {u.uid: u.home for u in gen.users}
+        assert set(homes) == {0, 1}
+        assert all(h in (0, 1, 2, 3) for h in homes.values())
+        gen.start(at=0.0)
+        while not gen.done:
+            if not sim.step() and not seen:
+                break
+            while seen:
+                offer = seen.pop()
+                assert offer.home == homes[offer.user]
+                gen.offer_resolved(offer, "completed")
+
+    def test_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(sim, [0], lambda o: None, users=0, total_offers=1)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(
+                sim, [0], lambda o: None, users=1, total_offers=1, think_time=0.0
+            )

@@ -1,0 +1,79 @@
+"""Unit tests for the Zipf popularity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.load import ZipfSampler
+
+
+class TestPmf:
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(16, 1.1)
+        assert sampler.pmf.sum() == pytest.approx(1.0)
+
+    def test_shares_decrease_with_rank(self):
+        sampler = ZipfSampler(10, 1.0)
+        shares = [sampler.share(r) for r in range(10)]
+        assert shares == sorted(shares, reverse=True)
+        assert shares[0] > 2 * shares[-1]
+
+    def test_s_zero_is_uniform(self):
+        sampler = ZipfSampler(8, 0.0)
+        for rank in range(8):
+            assert sampler.share(rank) == pytest.approx(1.0 / 8)
+
+    def test_larger_s_concentrates_head(self):
+        mild = ZipfSampler(20, 0.8)
+        steep = ZipfSampler(20, 2.0)
+        assert steep.share(0) > mild.share(0)
+        assert steep.share(19) < mild.share(19)
+
+
+class TestSampling:
+    def test_same_stream_same_draws(self):
+        sampler = ZipfSampler(12, 1.1)
+        a = [sampler.sample(np.random.default_rng(7)) for _ in range(1)]
+        b = [sampler.sample(np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        assert [sampler.sample(rng1) for _ in range(100)] == [
+            sampler.sample(rng2) for _ in range(100)
+        ]
+
+    def test_sample_in_range_and_skewed(self):
+        sampler = ZipfSampler(6, 1.2)
+        rng = np.random.default_rng(11)
+        draws = sampler.sample_many(rng, 4000)
+        assert draws.min() >= 0 and draws.max() < 6
+        counts = np.bincount(draws, minlength=6)
+        # rank 0 should dominate the tail rank decisively at s=1.2
+        assert counts[0] > 2 * counts[5]
+
+    def test_sample_many_matches_expected_shares(self):
+        sampler = ZipfSampler(4, 1.0)
+        draws = sampler.sample_many(np.random.default_rng(5), 20000)
+        freq = np.bincount(draws, minlength=4) / len(draws)
+        for rank in range(4):
+            assert freq[rank] == pytest.approx(sampler.share(rank), abs=0.02)
+
+
+class TestWeightsFor:
+    def test_sorted_targets_get_ranked_shares(self):
+        sampler = ZipfSampler(3, 1.0)
+        weights = sampler.weights_for([30, 10, 20])
+        assert set(weights) == {10, 20, 30}
+        assert weights[10] == pytest.approx(sampler.share(0))
+        assert weights[20] == pytest.approx(sampler.share(1))
+        assert weights[30] == pytest.approx(sampler.share(2))
+
+    def test_target_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3, 1.0).weights_for([1, 2])
+
+
+class TestValidation:
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(4, -0.1)

@@ -1,0 +1,210 @@
+"""LoadSession end to end: interval supply, accounting, and the live
+loopback cluster integration (``ClusterSpec(load=...)``)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.load import IntervalSupply, LoadSession, LoadSpec, solution_keyset
+from repro.monitor import HeartbeatSpec
+from repro.net import ClusterSpec, LocalCluster, simulation_script
+from repro.sim.kernel import Simulator
+from repro.topology.spanning_tree import SpanningTree
+
+
+def run(coro, timeout=90):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+def small_streams(seed=1):
+    tree = SpanningTree.regular(2, 2)
+    return simulation_script(tree, seed=seed, epochs=3).streams
+
+
+class TestLoadSpec:
+    def test_defaults_validate(self):
+        spec = LoadSpec()
+        assert spec.resolved_resume == 32
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            LoadSpec(mode="hybrid")
+        with pytest.raises(ValueError):
+            LoadSpec(arrival="pareto")
+        with pytest.raises(ValueError):
+            LoadSpec(dispatch="random")
+        with pytest.raises(ValueError):
+            LoadSpec(policy="queue")
+        with pytest.raises(ValueError):
+            LoadSpec(resume_outstanding=100, max_outstanding=10)
+
+    def test_explicit_resume_wins(self):
+        assert LoadSpec(max_outstanding=20, resume_outstanding=3).resolved_resume == 3
+
+
+class TestIntervalSupply:
+    def test_cycle_zero_returns_originals(self):
+        streams = small_streams()
+        supply = IntervalSupply(streams)
+        pid = supply.pids[0]
+        first = supply.next_for(pid)
+        assert first is streams[pid][0]
+
+    def test_cycling_shifts_clocks_and_seqs(self):
+        streams = small_streams()
+        supply = IntervalSupply(streams)
+        pid = supply.pids[0]
+        base = list(streams[pid])
+        originals = [supply.next_for(pid) for _ in range(len(base))]
+        recycled = [supply.next_for(pid) for _ in range(len(base))]
+        assert [iv.seq for iv in originals] == [iv.seq for iv in base]
+        stride = max(iv.seq for iv in base) + 1
+        assert [iv.seq for iv in recycled] == [iv.seq + stride for iv in base]
+        # cycle 1 shifts every vc by global_max_hi + 1 componentwise, so
+        # every recycled lo strictly dominates every cycle-0 hi: cross-
+        # cycle pairs are ordered, never falsely overlapping
+        global_hi = np.max(
+            np.stack([iv.hi for s in streams.values() for iv in s]), axis=0
+        ).astype(np.int64)
+        shift = global_hi + 1
+        for orig, cyc in zip(base, recycled):
+            assert (np.asarray(cyc.lo) == np.asarray(orig.lo) + shift).all()
+            assert (np.asarray(cyc.hi) == np.asarray(orig.hi) + shift).all()
+            assert (np.asarray(cyc.lo) > global_hi).all()
+
+    def test_rejects_empty_streams(self):
+        with pytest.raises(ValueError):
+            IntervalSupply({})
+        with pytest.raises(ValueError):
+            IntervalSupply({0: []})
+
+
+class TestSessionGuards:
+    def test_epoch_stride_guard(self):
+        streams = small_streams()
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError, match="epoch stride"):
+            LoadSession(
+                sim,
+                LoadSpec(max_outstanding=len(streams) - 1),
+                streams,
+                lambda pid, iv: None,
+                registry=sim.telemetry.registry,
+            )
+
+    def test_weights_must_match_pid_count(self):
+        streams = small_streams()
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError, match="one entry per process"):
+            LoadSession(
+                sim,
+                LoadSpec(dispatch="weighted", weights=(1.0, 2.0)),
+                streams,
+                lambda pid, iv: None,
+                registry=sim.telemetry.registry,
+            )
+
+
+class TestAccounting:
+    def test_no_target_sheds_every_offer(self):
+        streams = small_streams()
+        sim = Simulator(seed=1)
+        session = LoadSession(
+            sim,
+            LoadSpec(rate=500.0, total_offers=20, start_delay=0.0),
+            streams,
+            lambda pid, iv: None,
+            registry=sim.telemetry.registry,
+            alive=lambda pid: False,
+        )
+        session.start()
+        while not session.done and sim.step():
+            pass
+        session.stop()
+        summary = session.summary()
+        assert summary["offered"] == 20
+        assert summary["shed"] == 20
+        assert summary["shed_by_reason"] == {"no-target": 20}
+        assert summary["admitted"] == 0
+        assert summary["offered"] == summary["admitted"] + summary["shed"]
+
+
+class TestLiveCluster:
+    def _spec(self, **load_overrides):
+        load = LoadSpec(
+            mode="closed",
+            users=6,
+            think_time=0.01,
+            total_offers=36,
+            max_outstanding=12,
+            resume_outstanding=6,
+            pending_timeout=2.0,
+            start_delay=0.05,
+            **load_overrides,
+        )
+        return ClusterSpec(
+            nodes=7,
+            degree=2,
+            seed=1,
+            transport="loopback",
+            heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
+            load=load,
+        )
+
+    def test_closed_loop_drains_and_matches_reference(self):
+        spec = self._spec()
+
+        async def scenario():
+            cluster = LocalCluster(spec)
+            await cluster.start()
+            await cluster.run(until_load_drained=True, timeout=60)
+            await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        session = cluster.load_session
+        assert session.done
+        summary = cluster.load_summary()
+        assert summary["mode"] == "closed"
+        assert summary["offered"] == summary["admitted"] + summary["shed"]
+        assert summary["completed"] > 0
+        assert summary["outstanding"] == 0
+        # the acceptance property: live detections == centralized replay
+        # of exactly the admitted subset
+        assert session.reference_match(cluster.detections)
+
+    def test_run_until_load_drained_requires_spec(self):
+        spec = ClusterSpec(
+            nodes=3,
+            degree=2,
+            seed=1,
+            transport="loopback",
+            heartbeat=HeartbeatSpec(period=0.1, loss_tolerance=10),
+        )
+
+        async def scenario():
+            cluster = LocalCluster(spec)
+            await cluster.start()
+            with pytest.raises(RuntimeError):
+                await cluster.run(until_load_drained=True, timeout=5)
+            await cluster.stop()
+
+        run(scenario())
+
+
+class TestSolutionKeyset:
+    def test_keysets_identify_consumed_intervals(self):
+        streams = small_streams()
+        from repro.detect.centralized import CentralizedSinkCore
+
+        pids = sorted(streams)
+        sink = CentralizedSinkCore(pids[0], pids)
+        solutions = []
+        for epoch in range(2):
+            for pid in pids:
+                solutions.extend(sink.offer(pid, streams[pid][epoch]))
+        assert solutions
+        keysets = [solution_keyset(s) for s in solutions]
+        assert all(len(ks) == len(pids) for ks in keysets)
+        assert len(set(keysets)) == len(keysets)

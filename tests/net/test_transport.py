@@ -221,6 +221,113 @@ class TestAckCoalescing:
                 TcpTransport(0, clock, **bad)
 
 
+class TestSustainedOverload:
+    """Watermark behaviour when a sender outruns its sink for real:
+    outbox pinned above high water, drops accounted, the congestion
+    window accumulated into ``repro_net_congested_seconds_total``, and a
+    clean uncongest edge once the backlog drains below low water."""
+
+    def test_loopback_blast_pins_outbox_then_recovers(self):
+        async def scenario():
+            clock = AsyncClock()
+            hub = LoopbackHub()
+            a = LoopbackTransport(
+                0, hub, clock, max_outbox=8, high_water=4, low_water=2
+            )
+            b = LoopbackTransport(1, hub, clock)
+            got = []
+            b.set_receiver(lambda src, msg: got.append(msg))
+            await a.start()
+            await b.start()
+            # Blast without yielding: the flush callback cannot run, so
+            # the buffer crosses high water and then the hard cap.
+            for _ in range(20):
+                a.send(1, Heartbeat(sender=0))
+            during = {
+                "congested": a.congested_peers(),
+                "depth": clock.telemetry.registry.get(
+                    "repro_net_outbox_depth"
+                )[(0, 1)],
+            }
+            await a.drain()  # one tick: the flush empties the buffer
+            after = a.congested_peers()
+            await a.stop()
+            await b.stop()
+            return clock, got, during, after
+
+        clock, got, during, after = run(scenario())
+        assert during["congested"] == (1,)
+        assert during["depth"] == 8  # pinned at the hard cap
+        assert after == ()
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_outbox_dropped_total")[(0, "outbox-full")] == 12
+        assert len(got) == 8  # admitted frames all delivered, overflow dropped
+        assert registry.get("repro_net_outbox_depth")[(0, 1)] == 0
+        assert len(clock.log.of_kind("net_congested")) == 1
+        assert len(clock.log.of_kind("net_uncongested")) == 1
+        seconds = registry.get("repro_net_congested_seconds_total")
+        assert seconds[(0, 1)] >= 0.0  # episode settled on the uncongest edge
+
+    def test_tcp_outbox_pinned_until_listener_returns(self):
+        async def scenario():
+            clock = AsyncClock()
+            a = TcpTransport(
+                0,
+                clock,
+                max_outbox=8,
+                high_water=4,
+                low_water=2,
+                backoff_base=0.02,
+            )
+            b = TcpTransport(1, clock)
+            await b.start()
+            address = b.address
+            await b.stop()  # listener down before the writer ever connects
+            await a.start()
+            a.set_peers({1: address})
+            for _ in range(20):
+                a.send(1, Heartbeat(sender=0))
+            congested_at_blast = a.congested_peers()
+            await asyncio.sleep(0.1)  # sustained: nothing drains meanwhile
+            still_congested = a.congested_peers()
+            depth_pinned = clock.telemetry.registry.get(
+                "repro_net_outbox_depth"
+            )[(0, 1)]
+
+            # Recovery: the listener comes back on the SAME port, the
+            # writer redials, acks pop the backlog below low water.
+            got = []
+            b2 = TcpTransport(1, clock, port=address[1])
+            b2.set_receiver(lambda src, msg: got.append(msg))
+            await b2.start()
+            while a.congested_peers():
+                await asyncio.sleep(0.01)
+            await a.drain()
+            await a.stop()
+            await b2.stop()
+            return clock, got, congested_at_blast, still_congested, depth_pinned
+
+        clock, got, at_blast, still, depth_pinned = run(scenario())
+        assert at_blast == (1,)
+        assert still == (1,)  # overload holds while the peer is away
+        assert depth_pinned == 8
+        assert len(got) == 8
+        registry = clock.telemetry.registry
+        assert registry.get("repro_net_outbox_dropped_total")[(0, "outbox-full")] == 12
+        assert registry.get("repro_net_outbox_depth")[(0, 1)] <= 2  # below low water
+        assert len(clock.log.of_kind("net_congested")) == 1
+        assert len(clock.log.of_kind("net_uncongested")) == 1
+        # The link sat congested across the 0.1s outage at minimum.
+        assert registry.get("repro_net_congested_seconds_total")[(0, 1)] >= 0.05
+
+    def test_loopback_watermark_validation(self):
+        clock = AsyncClock()
+        with pytest.raises(ValueError):
+            LoopbackTransport(
+                0, LoopbackHub(), clock, max_outbox=4, high_water=8, low_water=2
+            )
+
+
 class TestNegotiation:
     def test_hello_records_peer_wire_and_codec(self):
         from repro.net import CODEC_VERSION, FrameCodec

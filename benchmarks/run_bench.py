@@ -1040,13 +1040,46 @@ def bench_obs(args) -> dict:
 # ----------------------------------------------------------------------
 # traffic plane: offered-load sweep + saturation knee
 # ----------------------------------------------------------------------
+def _validate_epochs(label: str, block: "dict | None", *, drained: bool) -> None:
+    """Gate one epoch-ledger summary block: the epoch accounting
+    identity admitted_epochs = solved + stranded + in_flight must hold,
+    a drained run must have nothing in flight, and every stranded epoch
+    must carry a cause attribution."""
+    if not block:
+        raise ValueError(f"{label}: epoch ledger block missing")
+    for field in ("offered_epochs", "admitted_epochs", "solved", "stranded",
+                  "expired", "in_flight", "stranded_by_cause"):
+        if field not in block:
+            raise ValueError(f"{label}: epoch block missing {field!r}")
+    resolved = block["solved"] + block["stranded"] + block["in_flight"]
+    if block["admitted_epochs"] != resolved:
+        raise ValueError(
+            f"{label}: epoch identity broken: admitted_epochs="
+            f"{block['admitted_epochs']} != solved+stranded+in_flight={resolved}"
+        )
+    if drained and block["in_flight"] != 0:
+        raise ValueError(
+            f"{label}: drained run left {block['in_flight']} epochs in flight"
+        )
+    by_cause = sum(block["stranded_by_cause"].values())
+    if by_cause != block["stranded"]:
+        raise ValueError(
+            f"{label}: stranded={block['stranded']} but cause attribution "
+            f"covers {by_cause}"
+        )
+
+
 def _validate_load(doc: dict) -> None:
     """Schema + behaviour gate for ``BENCH_load.json``
     (``repro-bench/2``).  Fails the bench when the shape regresses, when
     the sweep is too small to show a knee, when any run fails to drain
     (shedding must protect liveness, not replace it with deadlock), when
     any admitted subset diverges from the centralized reference, or when
-    the accounting identity offered = admitted + shed breaks."""
+    either accounting identity — offered = admitted + shed per offer,
+    admitted_epochs = solved + stranded + in_flight per epoch — breaks.
+    Epochs must not strand below the saturation knee, and the at-or-past
+    knee points must strand at least one epoch with a cause attached
+    (the goodput cliff must be explained, not just observed)."""
     if doc.get("schema") != SCHEMA_LOAD:
         raise ValueError(
             f"load schema must be {SCHEMA_LOAD}, got {doc.get('schema')!r}"
@@ -1058,7 +1091,8 @@ def _validate_load(doc: dict) -> None:
     if len(points) < 4:
         raise ValueError(f"load sweep needs >= 4 points, got {len(points)}")
     for point in points:
-        for field in ("rate", "offered", "admitted", "shed", "sojourn", "goodput_per_s"):
+        for field in ("rate", "offered", "admitted", "shed", "sojourn",
+                      "goodput_per_s", "epochs"):
             if field not in point:
                 raise ValueError(f"load sweep point missing {field!r}")
         if point["offered"] != point["admitted"] + point["shed"]:
@@ -1075,6 +1109,36 @@ def _validate_load(doc: dict) -> None:
             raise ValueError(
                 f"admitted subset at rate {point['rate']} diverged from the "
                 "centralized reference detector"
+            )
+        _validate_epochs(
+            f"sweep rate {point['rate']}", point["epochs"],
+            drained=point["drained"],
+        )
+    _validate_epochs(
+        "closed_loop", doc["closed_loop"].get("epochs"),
+        drained=doc["closed_loop"]["drained"],
+    )
+    _validate_epochs(
+        "cluster", doc["cluster"].get("epochs"),
+        drained=doc["cluster"]["drained"],
+    )
+    knee = doc["saturation_knee"]
+    if knee is not None:
+        below = [p for p in points if p["rate"] < knee["rate"]]
+        at_or_past = [p for p in points if p["rate"] >= knee["rate"]]
+        for point in below:
+            if point["epochs"]["stranded"] != 0:
+                raise ValueError(
+                    f"rate {point['rate']} is below the knee "
+                    f"({knee['rate']}) yet stranded "
+                    f"{point['epochs']['stranded']} epochs"
+                )
+        if knee.get("signal") == "shedding" and not any(
+            p["epochs"]["stranded"] > 0 for p in at_or_past
+        ):
+            raise ValueError(
+                "no sweep point at or past the shedding knee stranded an "
+                "epoch — the ledger failed to explain the goodput cliff"
             )
     if doc["saturation_knee"] is None:
         raise ValueError(
@@ -1175,6 +1239,7 @@ def bench_load(args) -> dict:
             "virtual_duration_s": duration,
             "drained": result["drained"],
             "reference_match": result["reference_match"],
+            "epochs": result["epochs"],
         }
 
     points = [sweep_point(rate) for rate in rates]
@@ -1275,6 +1340,7 @@ def bench_load(args) -> dict:
             "elapsed_s": elapsed,
             "drained": drained,
             "reference_match": reference_match,
+            "epochs": summary["epochs"],
         }
 
     cluster_section = asyncio.run(cluster_run())
@@ -1308,6 +1374,7 @@ def bench_load(args) -> dict:
             "sojourn": closed["summary"]["sojourn"],
             "drained": closed["drained"],
             "reference_match": closed["reference_match"],
+            "epochs": closed["epochs"],
         },
         "cluster": cluster_section,
         "determinism": {

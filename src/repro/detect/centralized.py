@@ -63,6 +63,13 @@ class CentralizedSinkCore:
     def peak_queue_space(self) -> int:
         return self._core.peak_queue_space()
 
+    def add_observer(self, fn) -> None:
+        """Chain a queue-lifecycle observer onto the underlying core
+        (see :meth:`RepeatedDetectionCore.add_observer`) — every sink
+        queue is concrete, so an epoch ledger can fold enqueue/prune
+        events straight off it."""
+        self._core.add_observer(fn)
+
     def offer(self, process_id: int, interval: Interval) -> List[Solution]:
         """Deliver one interval reported by *process_id* (in sequence
         order) and return any solutions it unlocks."""

@@ -154,6 +154,26 @@ class RepeatedDetectionCore:
         self.solutions: List[Solution] = []
         self._halted = False
 
+    def add_observer(self, fn) -> None:
+        """Chain an additional ``observer(event, key, interval)`` after
+        any already installed one.
+
+        Roles install their telemetry observer at construction; layers
+        that attach later (the epoch ledger's queue hooks) chain here
+        instead of replacing it.  Observers run in attach order and
+        must obey the same contract: cheap and pure.
+        """
+        current = self.observer
+        if current is None:
+            self.observer = fn
+            return
+
+        def chained(event, key, interval, _first=current, _second=fn):
+            _first(event, key, interval)
+            _second(event, key, interval)
+
+        self.observer = chained
+
     # ------------------------------------------------------------------
     # queue management (used by the fault layer on tree repair)
     # ------------------------------------------------------------------

@@ -115,6 +115,11 @@ class HierarchicalNodeCore:
     def peak_queue_space(self) -> int:
         return self._core.peak_queue_space()
 
+    def add_observer(self, fn) -> None:
+        """Chain an extra queue-lifecycle observer onto the underlying
+        core (see :meth:`RepeatedDetectionCore.add_observer`)."""
+        self._core.add_observer(fn)
+
     # ------------------------------------------------------------------
     # tree rewiring (Section III-F)
     # ------------------------------------------------------------------

@@ -108,6 +108,7 @@ class HierarchicalRole:
         self.detections: List[DetectionRecord] = []
         self.process: Optional[MonitoredProcess] = None
         self.core: Optional[HierarchicalNodeCore] = None
+        self._extra_core_observers: List = []
         self._buffers: Dict[int, ReorderBuffer] = {}
         self._out_seq = 0
         self._pending: List[Interval] = []  # aggregates emitted while orphaned
@@ -165,6 +166,8 @@ class HierarchicalRole:
             observer=self._observe_core,
             on_pair_tests=self._count_pair_tests,
         )
+        for observer in self._extra_core_observers:
+            self.core.add_observer(observer)
         self._buffers = {c: ReorderBuffer() for c in self._init_children}
         if self._heartbeat_cfg is not None:
             from ..fault.heartbeat import HeartbeatMonitor
@@ -185,6 +188,15 @@ class HierarchicalRole:
                 self.monitor.add_peer(peer)
             if self.parent_id is not None:
                 self.monitor.add_peer(self.parent_id)
+
+    def add_core_observer(self, fn) -> None:
+        """Chain an extra queue-lifecycle observer onto the detection
+        core and keep it across core rebuilds (``rebirth`` replaces the
+        core object) — how the epoch ledger's queue hooks stay attached
+        for a node's whole life."""
+        self._extra_core_observers.append(fn)
+        if self.core is not None:
+            self.core.add_observer(fn)
 
     def on_start(self) -> None:
         if self.monitor is not None:
@@ -435,6 +447,8 @@ class HierarchicalRole:
             observer=self._observe_core,
             on_pair_tests=self._count_pair_tests,
         )
+        for observer in self._extra_core_observers:
+            self.core.add_observer(observer)
         self._buffers = {}
         self._pending = []
         self._out_seq = 0

@@ -44,6 +44,13 @@ class Offer:
     home: int  #: Zipf-drawn home process (affinity dispatch honours it)
     issued_at: float  #: clock time the generator emitted the offer
     attempts: int = 0  #: admission attempts so far (defers bump this)
+    #: Epoch id, assigned at the source as ``index // len(pids)``.  A
+    #: ``Definitely(Φ)`` solution needs one interval per process, so
+    #: consecutive stride-of-n offers form the natural goodput unit;
+    #: being a pure function of the (seeded) offer index, the id is
+    #: identical across sharded workers and sim↔socket scopes and can
+    #: ride the frame ``_meta`` sidecar like span coordinates.
+    epoch: int = -1
 
 
 class OpenLoopGenerator:
@@ -107,7 +114,13 @@ class OpenLoopGenerator:
             return
         self._emitted += 1
         self.intake(
-            Offer(index=index, user=-1, home=home, issued_at=self.clock.now)
+            Offer(
+                index=index,
+                user=-1,
+                home=home,
+                issued_at=self.clock.now,
+                epoch=index // len(self.pids),
+            )
         )
 
     def offer_resolved(self, offer: Offer, outcome: str) -> None:
@@ -189,7 +202,13 @@ class ClosedLoopGenerator:
         self._issued += 1
         user.in_flight = True
         self.intake(
-            Offer(index=index, user=user.uid, home=user.home, issued_at=self.clock.now)
+            Offer(
+                index=index,
+                user=user.uid,
+                home=user.home,
+                issued_at=self.clock.now,
+                epoch=index // len(self.pids),
+            )
         )
 
     def offer_resolved(self, offer: Offer, outcome: str) -> None:

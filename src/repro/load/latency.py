@@ -11,12 +11,18 @@ completed sojourn into a ``repro_load_sojourn_seconds`` histogram.
 Offers whose epoch never completes — a sibling was shed, a node died —
 must not pin the closed-loop generator forever: :meth:`expire` sweeps
 pending entries older than the admission timeout so the caller can count
-them abandoned and release their virtual users.
+them abandoned and release their virtual users.  Expiries are never
+silent: each one is classified (shed sibling vs dead target vs plain
+pending-timeout, via the caller's ``classify`` hook — typically
+:meth:`repro.obs.epochs.EpochLedger.expiry_cause`) and counted in
+``repro_load_expired_total{reason}`` next to the sojourn histogram, so
+the accounting explains *why* a pending entry died instead of just
+dropping it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["LOAD_SOJOURN_BUCKETS", "LatencyStore"]
 
@@ -41,6 +47,12 @@ class LatencyStore:
             "Admission-to-detection sojourn of admitted offers.",
             LOAD_SOJOURN_BUCKETS,
         )
+        self.expired = registry.counter_vec(
+            "repro_load_expired_total",
+            "Pending admissions reaped by the timeout sweep, by cause "
+            "(shed-sibling / dead-target / pending-timeout).",
+            ("reason",),
+        )
         self._pending: Dict[Key, float] = {}
 
     # ------------------------------------------------------------------
@@ -63,20 +75,42 @@ class LatencyStore:
         self.histogram.observe(sojourn)
         return sojourn
 
-    def expire(self, now: float, timeout: float) -> List[Key]:
+    def expire(
+        self,
+        now: float,
+        timeout: float,
+        classify: Optional[Callable[[Key], str]] = None,
+    ) -> List[Tuple[Key, str]]:
         """Drop and return every pending key admitted more than
-        *timeout* ago (oldest first).  Expired sojourns are *not*
+        *timeout* ago (oldest first) as ``(key, reason)`` pairs.
+
+        *classify* maps a dying key to its expiry reason (why the entry
+        never completed: ``shed-sibling`` / ``dead-target`` /
+        ``pending-timeout``); without it every expiry is a plain
+        ``pending-timeout``.  Each reason is counted in
+        ``repro_load_expired_total``.  Expired sojourns are *not*
         recorded — the histogram reports completed offers only."""
         expired = sorted(
             (admitted_at, key)
             for key, admitted_at in self._pending.items()
             if now - admitted_at > timeout
         )
+        reaped: List[Tuple[Key, str]] = []
         for _, key in expired:
             del self._pending[key]
-        return [key for _, key in expired]
+            reason = classify(key) if classify is not None else "pending-timeout"
+            self.expired[reason] += 1
+            reaped.append((key, reason))
+        return reaped
 
     # ------------------------------------------------------------------
+    def expired_by_reason(self) -> Dict[str, int]:
+        """Reap counts per expiry reason (summary-block form)."""
+        return {
+            str(reason): int(count)
+            for reason, count in sorted(self.expired.items())
+        }
+
     def percentiles(self) -> dict:
         """The summary block's latency row: completed-offer sojourn
         p50/p95/p99 (``None`` until anything completes)."""

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..detect.centralized import CentralizedSinkCore
 from ..intervals import Interval
+from ..obs.epochs import EpochLedger
 from ..workload.distributions import ARRIVAL_KINDS
 from .admission import AdmissionController
 from .dispatch import DISPATCH_POLICIES, LoadBalancer, make_policy
@@ -269,6 +270,13 @@ class LoadSession:
             congestion_probe=congestion_probe,
         )
         self.latency = LatencyStore(registry)
+        self._alive = alive
+        # The epoch ledger: every offer's epoch tracked from intake to
+        # solution-or-stranded (see :mod:`repro.obs.epochs`).  Stride is
+        # the process count — one interval per process per solution.
+        self.epochs = EpochLedger(
+            registry, stride=len(self.pids), total_offers=load.total_offers
+        )
         self._completed_counter = registry.counter(
             "repro_load_completed_total",
             "Admitted offers resolved by a detection.",
@@ -340,15 +348,23 @@ class LoadSession:
     # ------------------------------------------------------------------
     # the offer path
     # ------------------------------------------------------------------
+    def _epoch_id(self, offer: Offer) -> int:
+        """The offer's epoch — trusted from the generator tag, derived
+        from the index for hand-built offers that never saw one."""
+        return offer.epoch if offer.epoch >= 0 else self.epochs.epoch_for_offer(offer.index)
+
     def _intake(self, offer: Offer) -> None:
         if self._stopped:
             return
         self.counts["offered"] += 1
+        epoch = self._epoch_id(offer)
+        self.epochs.note_offered(epoch, offer.index, self.clock.now)
         target = self.balancer.route(offer, self._outstanding_by_target)
         if target is None:
             self.admission.offered["none"] += 1
             self.admission.count_shed("no-target")
             self._count_shed("no-target")
+            self.epochs.note_shed(epoch, offer.index, "no-target", self.clock.now)
             self._resolve(offer, "shed")
             return
         decision = self.admission.decide(offer, target, self.latency.outstanding)
@@ -367,6 +383,9 @@ class LoadSession:
                 else ("congested" if self.admission.target_congested(target) else "saturated")
             )
             self._count_shed(reason)
+            self.epochs.note_shed(
+                epoch, offer.index, reason, self.clock.now, target=target
+            )
             self._resolve(offer, "shed")
 
     def _retry(self, offer: Offer) -> None:
@@ -379,6 +398,7 @@ class LoadSession:
         now = self.clock.now
         self.latency.admit(key, now)
         self._in_flight[key] = (offer, target)
+        self.epochs.note_admitted(self._epoch_id(offer), offer.index, key, target, now)
         self._outstanding_by_target[target] = self._outstanding_by_target.get(target, 0) + 1
         self._admitted_log.append((target, interval))
         self.counts["admitted"] += 1
@@ -412,22 +432,36 @@ class LoadSession:
                 self._outstanding_by_target[target] -= 1
                 self.counts["completed"] += 1
                 self._completed_counter.inc()
+                self.epochs.note_completed(key, now)
                 self._resolve(offer, "completed")
         self.admission.set_outstanding(self.latency.outstanding)
 
     def _schedule_sweep(self) -> None:
         self._sweep_handle = self.clock.schedule(self.SWEEP_INTERVAL, self._sweep)
 
+    def _expiry_cause(self, key: Key) -> str:
+        """Why a pending entry is dying: dead target beats shed sibling
+        beats plain pending-timeout (the :class:`LatencyStore` expiry
+        classifier)."""
+        _, target = self._in_flight[key]
+        target_alive = self._alive(target) if self._alive is not None else True
+        return self.epochs.expiry_cause(key, target_alive=target_alive)
+
     def _sweep(self) -> None:
         if self._stopped:
             return
-        expired = self.latency.expire(self.clock.now, self.load.pending_timeout)
-        for key in expired:
+        now = self.clock.now
+        self.epochs.tick(now)
+        expired = self.latency.expire(
+            now, self.load.pending_timeout, classify=self._expiry_cause
+        )
+        for key, reason in expired:
             offer, target = self._in_flight.pop(key)
             self._outstanding_by_target[target] -= 1
             self.counts["abandoned"] += 1
             self._abandoned_counter.inc()
-            self.clock.emit("load_offer_abandoned", node=target)
+            self.epochs.note_abandoned(key, reason, now)
+            self.clock.emit("load_offer_abandoned", node=target, reason=reason)
             self._resolve(offer, "abandoned")
         if expired:
             self.admission.set_outstanding(self.latency.outstanding)
@@ -469,9 +503,16 @@ class LoadSession:
             "deferred": self.counts["deferred"],
             "completed": self.counts["completed"],
             "abandoned": self.counts["abandoned"],
+            "expired_by_reason": self.latency.expired_by_reason(),
             "outstanding": self.latency.outstanding,
             "sojourn": self.latency.percentiles(),
+            "epochs": self.epochs.summary(),
         }
+
+    def epoch_of(self, key: Key) -> Optional[int]:
+        """The epoch an admitted interval key belongs to (rides the
+        frame ``_meta`` sidecar next to span coordinates)."""
+        return self.epochs.epoch_of(key)
 
     def admitted_by_target(self) -> Dict[int, int]:
         counts: Dict[int, int] = {}
@@ -492,10 +533,19 @@ class LoadSession:
             solutions.extend(sink.offer(pid, interval))
         return solutions
 
-    def reference_match(self, detections: Sequence) -> bool:
+    def reference_match(
+        self, detections: Sequence, *, allow_prefix: bool = False
+    ) -> bool:
         """Do the live detections match the centralized replay of the
         admitted subset?  Compared as index-ordered concrete-interval
-        key sets, so aggregation shape and wall timing drop out."""
+        key sets, so aggregation shape and wall timing drop out.
+
+        ``allow_prefix`` relaxes equality to "the live detections are a
+        prefix of the reference" — the sound check when a node died
+        mid-run: its admitted-but-unreported intervals still reach the
+        centralized replay, so the reference can run a few solutions
+        past where the live tree stopped, but everything the live tree
+        *did* detect must agree in content and order."""
         live = [
             solution_keyset(getattr(d, "solution", d))
             for d in sorted(
@@ -506,4 +556,6 @@ class LoadSession:
             solution_keyset(s)
             for s in sorted(self.reference_solutions(), key=lambda s: s.index)
         ]
+        if allow_prefix:
+            return live == reference[: len(live)]
         return live == reference

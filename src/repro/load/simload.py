@@ -104,6 +104,11 @@ def run_traffic(
         submit,
         registry=sim.telemetry.registry,
     )
+    # Fold the sink's queue lifecycle (enqueue / prune events) into the
+    # epoch ledger — every sink queue is concrete, so the ledger sees
+    # the same queued→matched transitions the live cluster observes at
+    # its leaf cores.
+    sink.add_observer(session.epochs.core_observer(sim))
     session.start()
     while not session.done:
         if sim.events_executed >= MAX_EVENTS:
@@ -131,6 +136,8 @@ def run_traffic(
             "service_time": service_time,
         },
         "summary": summary,
+        "epochs": summary["epochs"],
+        "epoch_ledger": session.epochs.to_dict(),
         "drained": session.done,
         "reference_match": session.reference_match(detections),
         "detections": len(detections),

@@ -99,7 +99,12 @@ class SLOSpec:
       application (``repro_cluster_repair_duration_seconds``);
     * ``outbox_depth`` — messages; breached when any peer link's
       ``repro_net_outbox_depth`` gauge exceeds it (sustained
-      backpressure: the socket plane cannot keep up with the detector).
+      backpressure: the socket plane cannot keep up with the detector);
+    * ``stranded_epoch_rate`` — fraction in ``(0, 1]``; breached when
+      the :class:`~repro.obs.epochs.StrandingWatchdog` sees stranded
+      epochs exceed that fraction of admitted epochs (the goodput
+      cliff: admitted work wasted because siblings were shed or a
+      target died).
 
     A breach does not stop anything — it trips the flight recorder, so
     the window around the violation is persisted for postmortem
@@ -109,6 +114,7 @@ class SLOSpec:
     detection_latency_p99: Optional[float] = None
     repair_duration: Optional[float] = None
     outbox_depth: Optional[int] = None
+    stranded_epoch_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in ("detection_latency_p99", "repair_duration"):
@@ -123,13 +129,27 @@ class SLOSpec:
                 raise ValueError(
                     f"outbox_depth must be an integer >= 1, got {self.outbox_depth!r}"
                 )
+        if self.stranded_epoch_rate is not None:
+            rate = self.stranded_epoch_rate
+            if not (isinstance(rate, (int, float)) and math.isfinite(rate)):
+                raise ValueError(f"stranded_epoch_rate must be finite, got {rate!r}")
+            if not 0 < rate <= 1:
+                raise ValueError(
+                    "stranded_epoch_rate is a fraction of admitted epochs and "
+                    f"must be in (0, 1], got {rate}"
+                )
 
     @property
     def enabled(self) -> bool:
         """Whether any threshold is configured."""
         return any(
             getattr(self, name) is not None
-            for name in ("detection_latency_p99", "repair_duration", "outbox_depth")
+            for name in (
+                "detection_latency_p99",
+                "repair_duration",
+                "outbox_depth",
+                "stranded_epoch_rate",
+            )
         )
 
     def as_dict(self) -> dict:
@@ -138,6 +158,7 @@ class SLOSpec:
             "detection_latency_p99": self.detection_latency_p99,
             "repair_duration": self.repair_duration,
             "outbox_depth": self.outbox_depth,
+            "stranded_epoch_rate": self.stranded_epoch_rate,
         }
 
 

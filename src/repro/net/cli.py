@@ -242,6 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO: breach when a repair takes longer than this",
     )
     obs.add_argument(
+        "--slo-stranded-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "SLO: breach when stranded epochs exceed this fraction of "
+            "admitted epochs (needs --load; see the epoch ledger docs)"
+        ),
+    )
+    obs.add_argument(
         "--slo-outbox-depth",
         type=int,
         default=None,
@@ -286,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--prom", metavar="PATH", help="also write the merged Prometheus exposition"
     )
+    watch.add_argument(
+        "--epochs",
+        action="store_true",
+        help=(
+            "also print the epoch ledger: accounting line, queue "
+            "watermarks and per-epoch stranding attribution"
+        ),
+    )
 
     pm = sub.add_parser(
         "postmortem", help="reconstruct a timeline from flight snapshots"
@@ -313,6 +331,7 @@ async def _run_cluster(args) -> dict:
         detection_latency_p99=args.slo_latency_p99,
         repair_duration=args.slo_repair_duration,
         outbox_depth=args.slo_outbox_depth,
+        stranded_epoch_rate=args.slo_stranded_rate,
     )
     load_spec = None
     if args.load is not None:
@@ -528,6 +547,9 @@ def _watch_once(args) -> int:
         return 1
     view = TelemetryAggregator().fold(scrape)
     print(view.status_table())
+    if getattr(args, "epochs", False):
+        print()
+        print(view.epoch_table())
     if args.prom:
         from ..obs.export import prometheus_text
 

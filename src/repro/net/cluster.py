@@ -61,6 +61,7 @@ from ..fault.coordinator import RepairCoordinator
 from ..load import LoadSession, LoadSpec
 from ..monitor.spec import HeartbeatSpec, SLOSpec
 from ..obs.cluster import ClusterView, TelemetryAggregator, scrape_local
+from ..obs.epochs import StrandingWatchdog
 from ..obs.export import _jsonable
 from ..obs.flight import FlightRecorder
 from ..obs.profile import SamplingProfiler
@@ -257,6 +258,7 @@ class LocalCluster:
         self.flight_recorders: Dict[str, FlightRecorder] = {}
         self._slo_handle: Optional[object] = None
         self._slo_latched: set = set()
+        self._stranding_watchdog: Optional[StrandingWatchdog] = None
         self.profiler: Optional[SamplingProfiler] = None
         #: the traffic plane, when ``spec.load`` asked for one
         self.load_session: Optional[LoadSession] = None
@@ -466,6 +468,20 @@ class LocalCluster:
             alive=self.is_alive,
             congestion_probe=self._uplink_congested,
         )
+        # Epoch plumbing: every runtime resolves admitted keys to epoch
+        # ids for its report sidecars, and every node core's queue
+        # lifecycle (enqueue / prune) feeds the ledger's queued→matched
+        # transitions — concrete local intervals only, so child
+        # aggregates at internal nodes never collide.
+        for pid, runtime in self.runtimes.items():
+            runtime.epoch_lookup = self.load_session.epoch_of
+            runtime.role.add_core_observer(
+                self.load_session.epochs.core_observer(self.clock, node=pid)
+            )
+        if self.spec.slo is not None and self.spec.slo.stranded_epoch_rate is not None:
+            self._stranding_watchdog = StrandingWatchdog(
+                self.load_session.epochs, self.spec.slo.stranded_epoch_rate
+            )
         # ClockScope.emit forwards every node's events to the cluster
         # log, so one subscription sees all transports' watermark edges.
         self._congestion_unsubs = [
@@ -565,6 +581,16 @@ class LocalCluster:
         self._stopped = True
         if self.load_session is not None:
             self.load_session.stop()
+        if self._stranding_watchdog is not None:
+            # Strandings often resolve exactly at drain (the pending
+            # sweep reaping a shed-broken epoch's survivors) — after
+            # the last periodic check ran. One final look, while the
+            # flight recorders are still open to snapshot the breach.
+            breach = self._stranding_watchdog.check()
+            if breach is not None:
+                self._breach(
+                    "stranded_epoch_rate", breach["value"], breach["threshold"]
+                )
         for unsubscribe in self._congestion_unsubs:
             unsubscribe()
         self._congestion_unsubs = []
@@ -633,6 +659,12 @@ class LocalCluster:
                     self._breach(
                         "repair_duration", duration, slo.repair_duration, node=failed
                     )
+        if self._stranding_watchdog is not None:
+            breach = self._stranding_watchdog.check()
+            if breach is not None:
+                self._breach(
+                    "stranded_epoch_rate", breach["value"], breach["threshold"]
+                )
         self._slo_handle = self.clock.schedule(
             self.spec.slo_check_interval, self._check_slo
         )
@@ -689,6 +721,19 @@ class LocalCluster:
             "cluster": self._event_dicts(self.clock.log),
         }
 
+    def _epochs_payload(self) -> Optional[dict]:
+        """The epoch ledger's wire form (``None`` without a load
+        session) — summary, stranding detail and watchdog state."""
+        if self.load_session is None:
+            return None
+        payload = self.load_session.epochs.to_dict()
+        if self._stranding_watchdog is not None:
+            payload["watchdog"] = {
+                "threshold": self._stranding_watchdog.threshold,
+                "latched": self._stranding_watchdog.latched,
+            }
+        return payload
+
     def scrape_payload(self) -> dict:
         """Everything the observability plane needs, in the JSON wire
         forms the admin endpoint serves — :func:`repro.obs.cluster.scrape_local`
@@ -699,6 +744,7 @@ class LocalCluster:
             "telemetry": self._telemetry_payload(),
             "spans": self._spans_payload(),
             "eventlog": self._eventlog_payload(),
+            "epochs": self._epochs_payload(),
         }
 
     async def _handle_admin(
@@ -736,6 +782,8 @@ class LocalCluster:
             return {"ok": True, **self._spans_payload()}
         if cmd == "eventlog":
             return {"ok": True, **self._eventlog_payload()}
+        if cmd == "epochs":
+            return {"ok": True, "epochs": self._epochs_payload()}
         if cmd == "profile":
             return {
                 "ok": True,

@@ -86,6 +86,11 @@ class NodeRuntime:
         #: cluster attaches when launched with profiling enabled; the
         #: ``profile`` admin command reads it back.
         self.profiler = None
+        #: Optional ``key -> epoch`` resolver the cluster attaches when
+        #: a load session is active (``LoadSession.epoch_of``); outbound
+        #: report sidecars then carry the epoch ids of the concrete
+        #: intervals they cover, next to the span coordinates.
+        self.epoch_lookup = None
         self._count_interval = clock.telemetry.registry.counter_handle(
             "repro_intervals_total",
             "Local intervals produced, per node.",
@@ -139,10 +144,36 @@ class NodeRuntime:
         span = spans.get(key)
         if span is None:
             return None
-        return {
+        meta = {
             "span": [self.pid, span.sid],
             "sampled": spans.head_decision(key),
         }
+        epochs = self._meta_epochs(message.interval)
+        if epochs is not None:
+            meta["epochs"] = epochs
+        return meta
+
+    #: Distinct epoch ids carried per report sidecar — a report covers
+    #: at most ``max_outstanding`` in-flight offers, but the sidecar is
+    #: bounded regardless so a pathological aggregate cannot bloat the
+    #: frame toward the codec's ``max_meta`` ceiling.
+    META_EPOCH_LIMIT = 8
+
+    def _meta_epochs(self, interval) -> Optional[list]:
+        """Epoch ids of the concrete intervals an outbound aggregate
+        covers (sorted, bounded), or ``None`` when no load session is
+        attached / none of the leaves map to an admitted offer."""
+        lookup = self.epoch_lookup
+        if lookup is None:
+            return None
+        found = set()
+        for leaf in interval.concrete_leaves():
+            epoch = lookup((leaf.owner, leaf.seq))
+            if epoch is not None:
+                found.add(epoch)
+        if not found:
+            return None
+        return sorted(found)[: self.META_EPOCH_LIMIT]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -224,6 +255,13 @@ class NodeRuntime:
             return
         now = self.sim.now
         sampled = meta.get("sampled")
+        attrs = {}
+        epochs = meta.get("epochs")
+        if isinstance(epochs, list) and epochs:
+            # The sender's epoch ids stick to the hop span, so stitched
+            # cross-node traces can name the epoch(s) a report carried —
+            # the ledger's stranding rows become explainable hop by hop.
+            attrs["epochs"] = [int(e) for e in epochs]
         spans.record(
             "hop",
             now,
@@ -235,4 +273,5 @@ class NodeRuntime:
             remote_node=int(remote[0]),
             remote_sid=int(remote[1]),
             seq=message.interval.seq,
+            **attrs,
         )

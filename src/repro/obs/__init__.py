@@ -24,6 +24,14 @@ from .cluster import (
     TelemetryAggregator,
     scrape_local,
 )
+from .epochs import (
+    EPOCH_DWELL_BUCKETS,
+    EPOCH_STAGES,
+    EPOCH_TERMINAL_STATES,
+    STRANDING_CAUSES,
+    EpochLedger,
+    StrandingWatchdog,
+)
 from .export import (
     chrome_trace,
     eventlog_to_jsonl,
@@ -61,6 +69,10 @@ __all__ = [
     "CounterVec",
     "DEFAULT_BUCKETS",
     "DEFAULT_SAMPLE_RATE",
+    "EPOCH_DWELL_BUCKETS",
+    "EPOCH_STAGES",
+    "EPOCH_TERMINAL_STATES",
+    "EpochLedger",
     "FlightRecorder",
     "FlightSnapshot",
     "Gauge",
@@ -71,8 +83,10 @@ __all__ = [
     "NodeScrape",
     "ProfileSection",
     "SamplingProfiler",
+    "STRANDING_CAUSES",
     "Span",
     "SpanTracker",
+    "StrandingWatchdog",
     "Telemetry",
     "TelemetryAggregator",
     "TraceSampler",

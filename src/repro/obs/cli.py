@@ -99,6 +99,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each alarm's full causal span tree",
     )
+    sub = parser.add_subparsers(dest="view", metavar="VIEW")
+    epochs = sub.add_parser(
+        "epochs",
+        help="run one traffic session and print its epoch lifecycle ledger",
+        description=(
+            "Run a deterministic virtual-time traffic session "
+            "(repro.load.simload.run_traffic) and print the epoch "
+            "lifecycle ledger: the accounting identities, queue "
+            "watermarks and one row per stranded epoch naming the shed "
+            "or abandoned offer that stranded it."
+        ),
+    )
+    epochs.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    epochs.add_argument(
+        "--rate", type=float, default=400.0, help="open loop: offers/second"
+    )
+    epochs.add_argument(
+        "--total-offers", type=int, default=200, help="offers to issue before stopping"
+    )
+    epochs.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="rate-driven or user-driven traffic",
+    )
+    epochs.add_argument(
+        "--users", type=int, default=8, help="closed loop: virtual user count"
+    )
+    epochs.add_argument(
+        "--max-outstanding",
+        type=int,
+        default=16,
+        help="admission high watermark on outstanding offers",
+    )
+    epochs.add_argument(
+        "--pending-timeout",
+        type=float,
+        default=2.0,
+        help="abandon admitted offers undetected after this many seconds",
+    )
+    epochs.add_argument(
+        "--degree", type=int, default=2, help="detector tree fan-out"
+    )
+    epochs.add_argument(
+        "--height", type=int, default=3, help="detector tree height"
+    )
+    epochs.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the full ledger payload as JSON instead of the table",
+    )
     return parser
 
 
@@ -118,8 +169,60 @@ def _build_tree(args):
     return SpanningTree.bfs(graph, root=0), graph
 
 
+def _cmd_epochs(args) -> int:
+    """The ``repro-trace epochs`` view: one virtual-time traffic run,
+    rendered as the stranding ledger plus its accounting identities."""
+    import json
+
+    from ..load.simload import run_traffic
+    from .cluster import render_epoch_table
+
+    result = run_traffic(
+        seed=args.seed,
+        degree=args.degree,
+        height=args.height,
+        mode=args.mode,
+        rate=args.rate,
+        users=args.users,
+        total_offers=args.total_offers,
+        max_outstanding=args.max_outstanding,
+        pending_timeout=args.pending_timeout,
+        start_delay=0.0,
+    )
+    ledger = result["epoch_ledger"]
+    if args.json:
+        print(json.dumps(ledger, indent=2, sort_keys=True))
+        return 0
+    summary = result["summary"]
+    spec = result["spec"]
+    print(
+        f"traffic: mode={spec['mode']} rate={spec['rate']:g} "
+        f"offers={spec['total_offers']} nodes={spec['nodes']} "
+        f"seed={spec['seed']}"
+    )
+    print(
+        f"offers: offered={summary['offered']} admitted={summary['admitted']} "
+        f"shed={summary['shed']} completed={summary['completed']} "
+        f"abandoned={summary['abandoned']}"
+        f"  (offered == admitted + shed: "
+        f"{summary['offered'] == summary['admitted'] + summary['shed']})"
+    )
+    epochs = summary["epochs"]
+    resolved = epochs["solved"] + epochs["stranded"] + epochs["in_flight"]
+    print(
+        "epoch identity: admitted_epochs == solved + stranded + in_flight: "
+        f"{epochs['admitted_epochs'] == resolved}"
+    )
+    print(f"drained={result['drained']} reference_match={result['reference_match']}")
+    print()
+    print(render_epoch_table(ledger))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "view", None) == "epochs":
+        return _cmd_epochs(args)
     if args.nodes < 1:
         raise SystemExit("--nodes must be >= 1")
 

@@ -59,6 +59,7 @@ __all__ = [
     "ClusterScraper",
     "TelemetryAggregator",
     "scrape_local",
+    "render_epoch_table",
     "CLUSTER_LATENCY_BUCKETS",
 ]
 
@@ -94,6 +95,10 @@ class ClusterScrape:
     nodes: Dict[int, NodeScrape] = field(default_factory=dict)
     cluster_registry: Optional[MetricsRegistry] = None
     cluster_events: List[dict] = field(default_factory=list)
+    #: The epoch ledger payload (``EpochLedger.to_dict`` + watchdog
+    #: state) — ``None`` when the cluster runs without a load session
+    #: or predates the ``epochs`` admin command.
+    epochs: Optional[dict] = None
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ClusterScrape":
@@ -124,6 +129,7 @@ class ClusterScrape:
             nodes=nodes,
             cluster_registry=cluster_registry,
             cluster_events=list(events.get("cluster") or []),
+            epochs=payload.get("epochs") or None,
         )
 
 
@@ -139,8 +145,9 @@ def scrape_local(cluster) -> ClusterScrape:
 class ClusterScraper:
     """Admin-endpoint poller for a running cluster.
 
-    Speaks the newline-delimited JSON protocol: one connection, four
-    requests (``status``, ``telemetry``, ``spans``, ``eventlog``), one
+    Speaks the newline-delimited JSON protocol: one connection, five
+    requests (``status``, ``telemetry``, ``spans``, ``eventlog``,
+    ``epochs`` — the last tolerated missing on older clusters), one
     :class:`ClusterScrape` back.
     """
 
@@ -158,16 +165,23 @@ class ClusterScraper:
         )
         try:
             payload = {}
-            for cmd in ("status", "telemetry", "spans", "eventlog"):
+            for cmd in ("status", "telemetry", "spans", "eventlog", "epochs"):
                 writer.write(json.dumps({"cmd": cmd}).encode() + b"\n")
                 await writer.drain()
                 response = json.loads(await reader.readline())
                 if not response.get("ok"):
+                    if cmd == "epochs":
+                        # Older clusters don't serve the epoch ledger;
+                        # a scrape without it is still a full scrape.
+                        continue
                     raise RuntimeError(
                         f"admin {cmd!r} failed: {response.get('error')}"
                     )
                 response.pop("ok", None)
-                payload[cmd if cmd != "status" else "status"] = response
+                if cmd == "epochs":
+                    payload["epochs"] = response.get("epochs")
+                else:
+                    payload[cmd] = response
             return ClusterScrape.from_payload(payload)
         finally:
             writer.close()
@@ -203,6 +217,7 @@ class TelemetryAggregator:
             status=scrape.status,
             nodes=scrape.nodes,
             stitched_hops=stitched,
+            epochs=scrape.epochs,
         )
         self._publish_cluster_metrics(merged, view, scrape)
         return view
@@ -321,6 +336,14 @@ class TelemetryAggregator:
             "repro_cluster_stitched_hops",
             "Cross-node span links joined by the trace stitcher.",
         ).set(view.stitched_hops)
+        summary = (scrape.epochs or {}).get("summary")
+        if summary:
+            for state in ("solved", "stranded", "expired", "in_flight"):
+                merged.gauge(
+                    f"repro_cluster_epochs_{state}",
+                    f"Epochs {state.replace('_', ' ')} per the scraped "
+                    "ledger.",
+                ).set(summary.get(state, 0))
 
 
 # ----------------------------------------------------------------------
@@ -336,6 +359,8 @@ class ClusterView:
     status: dict
     nodes: Dict[int, NodeScrape]
     stitched_hops: int = 0
+    #: The scraped epoch ledger payload, when the cluster served one.
+    epochs: Optional[dict] = None
 
     @property
     def telemetry(self) -> Telemetry:
@@ -463,3 +488,82 @@ class ClusterView:
             f"(stitched links: {self.stitched_hops})"
         )
         return "\n".join(lines)
+
+    # -- epoch ledger --------------------------------------------------
+    def epoch_summary(self) -> Optional[dict]:
+        """The scraped ledger's summary block (``None`` when the
+        cluster ran without a load session)."""
+        if self.epochs is None:
+            return None
+        return self.epochs.get("summary")
+
+    def epoch_table(self) -> str:
+        """The ``repro-cluster watch --epochs`` surface: the ledger's
+        accounting line, per-target queue watermarks and one row per
+        stranded epoch naming which process's shed offer (or dead
+        target) stranded it."""
+        return render_epoch_table(self.epochs)
+
+def render_epoch_table(payload: Optional[dict]) -> str:
+    """Render an epoch-ledger payload (``EpochLedger.to_dict()`` shape,
+    optionally with a ``watchdog`` block) as the human ledger view shared
+    by ``repro-cluster watch --epochs`` and ``repro-trace epochs``."""
+    summary = (payload or {}).get("summary")
+    if payload is None or summary is None:
+        return "no epoch ledger (cluster running without --load)"
+    lines = [
+        f"epochs: offered={summary.get('offered_epochs', 0)} "
+        f"admitted={summary.get('admitted_epochs', 0)} "
+        f"solved={summary.get('solved', 0)} "
+        f"stranded={summary.get('stranded', 0)} "
+        f"expired={summary.get('expired', 0)} "
+        f"in_flight={summary.get('in_flight', 0)}"
+    ]
+    causes = summary.get("stranded_by_cause") or {}
+    if causes:
+        lines.append(
+            "stranded by cause: "
+            + "  ".join(f"{c}={n}" for c, n in sorted(causes.items()))
+        )
+    watchdog = payload.get("watchdog")
+    if watchdog:
+        state = "LATCHED" if watchdog.get("latched") else "armed"
+        lines.append(
+            f"stranding watchdog: {state} "
+            f"(threshold={watchdog.get('threshold')})"
+        )
+    watermarks = summary.get("watermarks") or {}
+    if watermarks:
+        lines.append(
+            "queue watermarks: "
+            + "  ".join(
+                f"P{t}:depth={m.get('depth', 0)},age={m.get('age_s', 0):.3g}s"
+                for t, m in sorted(
+                    watermarks.items(), key=lambda kv: int(kv[0])
+                )
+            )
+        )
+    detail = payload.get("stranded_detail") or []
+    if detail:
+        lines.append("")
+        lines.append("stranded epochs:")
+        for row in detail:
+            culprits = []
+            for shed in row.get("shed", []):
+                target = shed.get("target")
+                where = f"P{target}" if target is not None else "no target"
+                culprits.append(f"shed@{where}({shed.get('reason')})")
+            for gone in row.get("abandoned", []):
+                culprits.append(
+                    f"abandoned@P{gone.get('target')}({gone.get('reason')})"
+                )
+            lines.append(
+                f"  epoch {row.get('epoch')}: cause={row.get('cause')} "
+                f"admitted={row.get('admitted')}/{row.get('expected')} "
+                f"completed={row.get('completed')} — "
+                + ", ".join(culprits)
+            )
+        truncated = payload.get("stranded_detail_truncated", 0)
+        if truncated:
+            lines.append(f"  … and {truncated} more stranded epochs")
+    return "\n".join(lines)

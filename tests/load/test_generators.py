@@ -3,6 +3,7 @@
 import pytest
 
 from repro.load import ClosedLoopGenerator, OpenLoopGenerator
+from repro.net.clock import AsyncClock
 from repro.sim.kernel import Simulator
 
 
@@ -60,6 +61,66 @@ class TestOpenLoop:
             OpenLoopGenerator(sim, [0], lambda o: None, rate=0.0, total_offers=1)
         with pytest.raises(ValueError):
             OpenLoopGenerator(sim, [0], lambda o: None, rate=1.0, total_offers=0)
+
+
+class TestEpochIds:
+    """Epoch ids are assigned at the source as ``index // len(pids)`` —
+    a pure function of the seeded offer schedule, so they agree across
+    sharded workers and across the sim↔socket clock scopes."""
+
+    def test_open_loop_offers_carry_epoch_ids(self):
+        sim = Simulator(seed=4)
+        seen = []
+        gen = OpenLoopGenerator(
+            sim, [0, 1, 2, 3, 4, 5, 6], seen.append,
+            rate=500.0, total_offers=21,
+        )
+        gen.start(at=0.0)
+        drain(sim)
+        assert [o.epoch for o in seen] == [o.index // 7 for o in seen]
+        assert [o.epoch for o in seen] == [i // 7 for i in range(21)]
+
+    def test_closed_loop_offers_carry_epoch_ids(self):
+        sim = Simulator(seed=4)
+        seen = []
+        epochs = []
+        gen = ClosedLoopGenerator(
+            sim, [0, 1, 2], lambda o: seen.append(o),
+            users=2, total_offers=9, think_time=0.005,
+        )
+        gen.start(at=0.0)
+        while not gen.done:
+            if not sim.step() and not seen:
+                break
+            while seen:
+                offer = seen.pop()
+                epochs.append((offer.index, offer.epoch))
+                gen.offer_resolved(offer, "completed")
+        assert sorted(epochs) == [(i, i // 3) for i in range(9)]
+
+    def test_plan_identical_across_sim_and_socket_clocks(self):
+        # AsyncClock's named rng streams derive (seed, name) exactly like
+        # the simulator's, and plan() never reads the loop — the offer
+        # schedule (and with it every epoch id) is scope-independent.
+        pids = [0, 1, 2, 3, 4, 5, 6]
+
+        def plan(clock):
+            return OpenLoopGenerator(
+                clock, pids, lambda o: None, rate=800.0, total_offers=35
+            ).plan()
+
+        assert plan(Simulator(seed=11)) == plan(AsyncClock(seed=11))
+        assert plan(Simulator(seed=11)) != plan(AsyncClock(seed=12))
+
+    def test_closed_loop_homes_identical_across_clock_scopes(self):
+        def homes(clock):
+            gen = ClosedLoopGenerator(
+                clock, [0, 1, 2, 3], lambda o: None,
+                users=5, total_offers=10, think_time=0.01,
+            )
+            return [u.home for u in gen.users]
+
+        assert homes(Simulator(seed=11)) == homes(AsyncClock(seed=11))
 
 
 class TestClosedLoop:

@@ -128,6 +128,12 @@ class TestAccounting:
         assert summary["shed_by_reason"] == {"no-target": 20}
         assert summary["admitted"] == 0
         assert summary["offered"] == summary["admitted"] + summary["shed"]
+        # whole-shed epochs expire — nothing admitted, nothing stranded
+        epochs = summary["epochs"]
+        assert epochs["admitted_epochs"] == 0
+        assert epochs["stranded"] == 0
+        assert epochs["expired"] == epochs["offered_epochs"]
+        assert epochs["in_flight"] == 0
 
 
 class TestLiveCluster:
@@ -170,6 +176,13 @@ class TestLiveCluster:
         assert summary["offered"] == summary["admitted"] + summary["shed"]
         assert summary["completed"] > 0
         assert summary["outstanding"] == 0
+        # the epoch ledger drained alongside: every admitted epoch
+        # reached a terminal state
+        epochs = summary["epochs"]
+        assert epochs["in_flight"] == 0
+        assert epochs["admitted_epochs"] == (
+            epochs["solved"] + epochs["stranded"] + epochs["in_flight"]
+        )
         # the acceptance property: live detections == centralized replay
         # of exactly the admitted subset
         assert session.reference_match(cluster.detections)

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.experiments.parallel import ShardedRunner
 from repro.load import LoadSpec, run_traffic, traffic_specs
+from repro.obs import STRANDING_CAUSES
 
 
 class TestRunTraffic:
@@ -102,6 +104,88 @@ class TestRunTraffic:
     def test_rejects_negative_service_time(self):
         with pytest.raises(ValueError):
             run_traffic(seed=1, service_time=-0.1)
+
+
+class TestEpochLedger:
+    def test_light_load_solves_every_epoch(self):
+        # The BENCH_load quick sweep's below-knee point: 7 processes,
+        # offered rate well under capacity — nothing sheds, so nothing
+        # can strand.
+        result = run_traffic(
+            seed=1,
+            degree=2,
+            height=3,
+            rate=400.0,
+            total_offers=140,
+            max_outstanding=16,
+            resume_outstanding=8,
+            pending_timeout=2.0,
+            start_delay=0.0,
+        )
+        epochs = result["epochs"]
+        assert epochs["stranded"] == 0
+        assert epochs["in_flight"] == 0
+        assert epochs["admitted_epochs"] == epochs["solved"]
+        assert epochs["stride"] == 7  # the regular(2, 3) tree's 7 processes
+
+    def test_overload_strands_with_cause_attribution(self):
+        result = run_traffic(
+            seed=1,
+            degree=2,
+            height=3,
+            rate=4000.0,
+            total_offers=140,
+            max_outstanding=16,
+            resume_outstanding=8,
+            pending_timeout=2.0,
+            start_delay=0.0,
+        )
+        epochs = result["epochs"]
+        assert result["summary"]["shed"] > 0
+        assert epochs["stranded"] > 0
+        # the accounting identity at drain
+        assert epochs["admitted_epochs"] == (
+            epochs["solved"] + epochs["stranded"] + epochs["in_flight"]
+        )
+        assert epochs["in_flight"] == 0
+        assert sum(epochs["stranded_by_cause"].values()) == epochs["stranded"]
+        detail = result["epoch_ledger"]["stranded_detail"]
+        assert len(detail) == min(epochs["stranded"], 64)
+        for row in detail:
+            assert row["cause"] in STRANDING_CAUSES
+            assert row["shed"] or row["abandoned"]  # culprits named
+
+    def test_expiry_reasons_accounted(self):
+        result = run_traffic(
+            seed=1,
+            degree=2,
+            height=3,
+            rate=4000.0,
+            total_offers=140,
+            max_outstanding=16,
+            resume_outstanding=8,
+            pending_timeout=2.0,
+            start_delay=0.0,
+        )
+        summary = result["summary"]
+        assert sum(summary["expired_by_reason"].values()) == summary["abandoned"]
+        assert set(summary["expired_by_reason"]) <= set(STRANDING_CAUSES)
+
+    def test_ledger_identical_across_worker_counts(self):
+        specs = traffic_specs(
+            [400, 4000],
+            seed=7,
+            total_offers=84,
+            max_outstanding=16,
+            resume_outstanding=8,
+            pending_timeout=1.0,
+            start_delay=0.0,
+        )
+        sequential = ShardedRunner(workers=1).run(list(specs))
+        sharded = ShardedRunner(workers=2).run(list(specs))
+        for a, b in zip(sequential.values, sharded.values):
+            assert a["epochs"] == b["epochs"]
+            assert a["epoch_ledger"] == b["epoch_ledger"]
 
 
 class TestTrafficSpecs:

@@ -136,12 +136,14 @@ class TestSLOSpec:
             "detection_latency_p99": None,
             "repair_duration": None,
             "outbox_depth": None,
+            "stranded_epoch_rate": None,
         }
 
     def test_any_threshold_enables(self):
         assert SLOSpec(detection_latency_p99=0.5).enabled
         assert SLOSpec(repair_duration=1.0).enabled
         assert SLOSpec(outbox_depth=64).enabled
+        assert SLOSpec(stranded_epoch_rate=0.2).enabled
 
     def test_nonsense_values_rejected(self):
         import math
@@ -156,6 +158,10 @@ class TestSLOSpec:
             SLOSpec(outbox_depth=0)
         with pytest.raises(ValueError):
             SLOSpec(outbox_depth=1.5)
+        with pytest.raises(ValueError):
+            SLOSpec(stranded_epoch_rate=0.0)
+        with pytest.raises(ValueError):
+            SLOSpec(stranded_epoch_rate=1.5)
 
     def test_as_dict_is_json_safe(self):
         import json
@@ -165,4 +171,5 @@ class TestSLOSpec:
             "detection_latency_p99": 0.25,
             "repair_duration": None,
             "outbox_depth": 128,
+            "stranded_epoch_rate": None,
         }

@@ -180,6 +180,25 @@ class TestMetaSidecar:
         with pytest.raises(ValueError):
             codec.encode({"type": HELLO_TYPE, "node": 1}, meta={"span": [0, 0]})
 
+    @pytest.mark.parametrize("wire", ["binary", "json"])
+    def test_epoch_ids_ride_the_sidecar(self, wire):
+        # The epoch ledger's ids travel next to span coordinates; the
+        # packed wire must hand them back bit-identical and typed.
+        tx = FrameCodec(wire=wire)
+        rx = FrameCodec(wire=wire)
+        meta = {"span": [1, 5], "sampled": True, "epochs": [0, 3, 17]}
+        ((message, got),) = rx.feed_meta(tx.encode(_report(), meta=meta))
+        assert isinstance(message, IntervalReport)
+        assert got == meta
+        assert got["epochs"] == [0, 3, 17]
+
+    def test_epoch_sidecar_respects_max_meta(self):
+        tx = FrameCodec(wire="binary", max_meta=64)
+        small = {"epochs": [1]}
+        assert tx.encode(_report(), meta=small)
+        with pytest.raises(ValueError, match="max_meta"):
+            tx.encode(_report(seq=1, ts=1), meta={"epochs": list(range(1000))})
+
     def test_meta_survives_compression_chain(self):
         tx, rx = FrameCodec(), FrameCodec()
         for seq in range(4):

@@ -46,6 +46,54 @@ def _three_node_cluster(clock, hub, on_detection):
     return runtimes
 
 
+class TestEpochSidecar:
+    """``_meta_epochs``: epoch ids of an outbound report's concrete
+    leaves, resolved through the cluster-attached lookup — bounded,
+    sorted, absent without a load session."""
+
+    def _runtime(self):
+        clock = AsyncClock()
+        transport = LoopbackTransport(0, LoopbackHub(), clock)
+        return NodeRuntime(0, transport, clock, parent=None, children=[], level=0)
+
+    def test_absent_without_lookup(self):
+        runtime = self._runtime()
+        assert runtime.epoch_lookup is None
+        assert runtime._meta_epochs(_interval(0, 0, 1, 2)) is None
+
+    def test_aggregate_resolves_leaf_epochs_sorted_distinct(self):
+        runtime = self._runtime()
+        table = {(0, 0): 4, (1, 0): 2, (2, 0): 2}
+        runtime.epoch_lookup = table.get
+        parts = tuple(_interval(pid, 0, 1, 2) for pid in (0, 1, 2))
+        leaf = parts[0]
+        aggregate = Interval(
+            owner=0, seq=7, lo=leaf.lo, hi=leaf.hi, parts=parts
+        )
+        assert runtime._meta_epochs(aggregate) == [2, 4]
+        # a concrete interval resolves through its own key
+        assert runtime._meta_epochs(parts[1]) == [2]
+
+    def test_unknown_keys_yield_none(self):
+        runtime = self._runtime()
+        runtime.epoch_lookup = {}.get
+        assert runtime._meta_epochs(_interval(1, 9, 1, 2)) is None
+
+    def test_epoch_list_is_bounded(self):
+        runtime = self._runtime()
+        runtime.epoch_lookup = lambda key: key[1]  # every seq its own epoch
+        parts = tuple(
+            _interval(1, seq, seq + 1, seq + 2)
+            for seq in range(NodeRuntime.META_EPOCH_LIMIT * 3)
+        )
+        aggregate = Interval(
+            owner=0, seq=1, lo=parts[0].lo, hi=parts[-1].hi, parts=parts
+        )
+        epochs = runtime._meta_epochs(aggregate)
+        assert len(epochs) == NodeRuntime.META_EPOCH_LIMIT
+        assert epochs == sorted(epochs)
+
+
 class TestNodeRuntime:
     def test_detection_over_loopback(self):
         async def scenario():

@@ -86,3 +86,39 @@ class TestRuns:
         )
         assert "events in [0, 1000]:" in out
         assert "suspect" in out or "crash" in out or "repair" in out
+
+
+class TestEpochsView:
+    """The ``repro-trace epochs`` subcommand: one virtual-time traffic
+    run rendered as the stranding ledger."""
+
+    def test_overload_prints_stranding_rows(self, capsys):
+        out = _run(
+            capsys, "epochs", "--seed", "1", "--rate", "4000",
+            "--total-offers", "140", "--height", "3",
+        )
+        assert "offered == admitted + shed: True" in out
+        assert "admitted_epochs == solved + stranded + in_flight: True" in out
+        assert "epochs: offered=" in out
+        assert "stranded by cause:" in out
+        assert "stranded epochs:" in out
+        assert "cause=" in out
+
+    def test_json_dumps_the_ledger_payload(self, capsys):
+        out = _run(
+            capsys, "epochs", "--seed", "1", "--rate", "300",
+            "--total-offers", "30", "--json",
+        )
+        payload = json.loads(out)
+        assert set(payload) == {
+            "summary", "stranded_detail", "stranded_detail_truncated",
+        }
+        summary = payload["summary"]
+        assert summary["admitted_epochs"] == (
+            summary["solved"] + summary["stranded"] + summary["in_flight"]
+        )
+
+    def test_legacy_flag_only_invocation_still_works(self, capsys):
+        # 'epochs' as a VIEW must not break '--epochs' the scenario flag
+        out = _run(capsys, "--topology", "tree", "--nodes", "7", "--epochs", "3")
+        assert "alarms:" in out

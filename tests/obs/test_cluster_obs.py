@@ -272,6 +272,11 @@ class TestClusterScraper:
         def responses(cmd):
             if cmd == "status":
                 return {"ok": True, **payload["status"]}
+            if cmd not in payload:
+                # An older cluster without the epochs admin command —
+                # the scraper must tolerate it and still return a full
+                # scrape.
+                return {"ok": False, "error": f"unknown cmd {cmd!r}"}
             return {"ok": True, **payload[cmd]}
 
         async def run():
@@ -326,6 +331,11 @@ class TestClusterScraper:
         def responses(cmd):
             if cmd == "status":
                 return {"ok": True, **payload["status"]}
+            if cmd not in payload:
+                # An older cluster without the epochs admin command —
+                # the scraper must tolerate it and still return a full
+                # scrape.
+                return {"ok": False, "error": f"unknown cmd {cmd!r}"}
             return {"ok": True, **payload[cmd]}
 
         async def run():
